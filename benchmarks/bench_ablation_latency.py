@@ -1,0 +1,93 @@
+"""Ablation: the Section VI latency optimizations.
+
+Toggles (1) subscription prediction-ahead, (2) subscriber retention, and
+(3) the relaxed first hop, and measures the update-age distribution and
+subscription traffic for each variant.
+"""
+
+import pytest
+
+from repro.core import WatchmenConfig, WatchmenSession
+from repro.analysis.report import render_table
+from repro.net.latency import king_like
+
+from conftest import publish
+
+VARIANTS = {
+    "full (predict+retain)": {},
+    "no prediction": {"predict_ahead": False},
+    "short retention": {"subscription_retention_frames": 4},
+    "relaxed first hop": {"relax_first_hop": True},
+}
+
+
+def run_variant(trace, yard, overrides):
+    config = WatchmenConfig(**overrides)
+    session = WatchmenSession(
+        trace,
+        game_map=yard,
+        config=config,
+        latency=king_like(len(trace.player_ids()), seed=9),
+    )
+    report = session.run()
+    total = sum(report.age_histogram.values())
+    mean_age = (
+        sum(a * c for a, c in report.age_histogram.items()) / total
+        if total
+        else 0.0
+    )
+    return report, mean_age
+
+
+def test_ablation_latency_optimizations(benchmark, yard, session_trace,
+                                        results_dir):
+    def sweep():
+        return {
+            name: run_variant(session_trace, yard, overrides)
+            for name, overrides in VARIANTS.items()
+        }
+
+    outcomes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, (report, mean_age) in outcomes.items():
+        received = sum(report.age_histogram.values())
+        rows.append(
+            [
+                name,
+                f"{mean_age:.2f}",
+                f"{report.stale_fraction(3):.2%}",
+                f"{report.mean_upload_kbps:.0f}",
+                str(report.messages_sent),
+                str(received),
+            ]
+        )
+    body = render_table(
+        [
+            "variant",
+            "mean age (frames)",
+            "stale ≥3",
+            "up kbps",
+            "messages",
+            "updates recv",
+        ],
+        rows,
+    )
+    body += (
+        "\n(short retention drops subscribers between renewals: receivers "
+        "starve — the timeout must exceed the subscription round trip)\n"
+    )
+    publish(results_dir, "ablation_latency",
+            "Ablation — Section VI latency optimizations", body)
+
+    full_report, full_age = outcomes["full (predict+retain)"]
+    relaxed_report, relaxed_age = outcomes["relaxed first hop"]
+    short_report, _ = outcomes["short retention"]
+    # Relaxing the first hop removes one proxy hop: strictly fresher.
+    assert relaxed_age < full_age
+    # Retention shorter than the subscription round trip starves receivers.
+    assert sum(short_report.age_histogram.values()) < sum(
+        full_report.age_histogram.values()
+    )
+    # Every variant still meets the FPS bound in this configuration.
+    assert full_report.stale_fraction(3) == pytest.approx(0.0, abs=0.05)

@@ -1,0 +1,37 @@
+"""Bandwidth scalability: Watchmen vs naive P2P vs centralized hosting.
+
+Sweeps the player count and reports per-node upload, against the paper's
+background numbers (centralized Quake III ≈ 120·n kbps; naive P2P grows
+linearly per node / quadratically in total).
+"""
+
+from repro.analysis import scalability_experiment
+from repro.analysis.report import render_scalability
+
+from conftest import publish
+
+PLAYER_COUNTS = [8, 16, 24, 32]
+
+
+def test_scalability_bandwidth(benchmark, yard, results_dir):
+    points = benchmark.pedantic(
+        scalability_experiment,
+        args=(PLAYER_COUNTS,),
+        kwargs={"num_frames": 120, "game_map": yard},
+        rounds=1,
+        iterations=1,
+    )
+    body = render_scalability(points)
+    body += (
+        "\n(centralized server column is the 120·n kbps literature figure; "
+        "Watchmen keeps per-node upload in broadband range as n grows)\n"
+    )
+    publish(results_dir, "scalability", "Bandwidth scalability sweep", body)
+
+    small, large = points[0], points[-1]
+    # Watchmen per-node growth is sub-linear vs naive P2P's linear growth.
+    watchmen_growth = large.watchmen_mean_kbps / max(1e-9, small.watchmen_mean_kbps)
+    naive_growth = large.naive_p2p_node_kbps / small.naive_p2p_node_kbps
+    assert watchmen_growth < naive_growth
+    for point in points:
+        assert point.watchmen_max_kbps < point.client_server_kbps

@@ -1,0 +1,27 @@
+"""Table I: the cheat taxonomy — every row injected and countered."""
+
+from repro.analysis import cheat_matrix_experiment
+from repro.analysis.report import render_cheat_matrix
+
+from conftest import publish
+
+
+def test_table1_cheat_matrix(benchmark, yard, session_trace, results_dir):
+    outcomes = benchmark.pedantic(
+        cheat_matrix_experiment,
+        args=(session_trace, yard),
+        rounds=1,
+        iterations=1,
+    )
+    body = render_cheat_matrix(outcomes)
+    publish(results_dir, "table1_cheats",
+            "Table I — cheat taxonomy, measured countermeasures", body)
+
+    assert len(outcomes) == 14
+    for outcome in outcomes:
+        assert outcome.status in (
+            "detected",
+            "prevented",
+            "exposure-minimised",
+            "contained",
+        ), f"{outcome.cheat_name}: {outcome.evidence}"

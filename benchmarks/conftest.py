@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+rows/series, and archives them under ``benchmarks/results/``.  Traces are
+session-scoped: the expensive inputs are built once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.game import generate_trace, make_longest_yard
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def yard():
+    return make_longest_yard()
+
+
+@pytest.fixture(scope="session")
+def bench_trace(yard):
+    """The main evaluation trace: 24 players, 400 frames (20 s of play)."""
+    return generate_trace(num_players=24, num_frames=400, seed=2013,
+                          game_map=yard)
+
+
+@pytest.fixture(scope="session")
+def session_trace(yard):
+    """A lighter trace for full-protocol (network) benches."""
+    return generate_trace(num_players=12, num_frames=240, seed=2013,
+                          game_map=yard)
+
+
+def publish(results_dir: Path, name: str, title: str, body: str) -> None:
+    """Print a result block and archive it for EXPERIMENTS.md."""
+    block = f"== {title} ==\n{body}\n"
+    print("\n" + block)
+    (results_dir / f"{name}.txt").write_text(block, encoding="utf-8")

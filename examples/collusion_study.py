@@ -1,0 +1,61 @@
+"""Collusion study: what coalitions of cheaters learn under each architecture.
+
+Reproduces the Figure 4/5 analysis interactively: for growing coalition
+sizes, how much information the colluders jointly hold about honest
+players under client/server, Donnybrook and Watchmen — and how many
+honest witnesses still surround each cheater under Watchmen.
+
+Run:  python examples/collusion_study.py
+"""
+
+from repro.analysis import (
+    exposure_experiment,
+    honest_proxy_probability,
+    witness_experiment,
+)
+from repro.analysis.report import render_exposure, render_witnesses
+from repro.game import generate_trace, make_longest_yard
+
+COALITION_SIZES = [1, 2, 4, 8]
+
+
+def main() -> None:
+    game_map = make_longest_yard()
+    print("Generating a 24-player trace...")
+    trace = generate_trace(
+        num_players=24, num_frames=300, seed=17, game_map=game_map
+    )
+
+    print("\n=== Information disclosure (Figure 4) ===")
+    print("Mean number of honest players per joint-knowledge category:\n")
+    results = exposure_experiment(
+        trace,
+        game_map,
+        COALITION_SIZES,
+        coalitions_per_size=5,
+        frame_stride=30,
+    )
+    print(render_exposure(results))
+    print(
+        "\nReading: under Watchmen most honest players are known only via "
+        "1 Hz positions (infreq); Donnybrook hands every coalition dead-"
+        "reckoning about everyone; client/server is the lower bound."
+    )
+
+    print("\n=== Witness availability (Figure 5) ===\n")
+    witnesses = witness_experiment(
+        trace,
+        game_map,
+        COALITION_SIZES,
+        coalitions_per_size=5,
+        frame_stride=30,
+    )
+    print(render_witnesses(witnesses))
+    n = len(trace.player_ids())
+    print("\nAnalytic honest-proxy probability 1-(k-1)/(n-1):")
+    for size in COALITION_SIZES:
+        print(f"  k={size:>2}: {honest_proxy_probability(n, size):.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Watchmen: scalable cheat-resistant support for distributed multi-player
+online games — a full reproduction of the ICDCS 2013 paper.
+
+Packages:
+
+- :mod:`repro.core` — the Watchmen protocol (subscriptions, proxies,
+  verification, reputation, disclosure accounting);
+- :mod:`repro.game` — the Quake-III-class deathmatch simulator and trace
+  format that stand in for the paper's enhanced Quake III;
+- :mod:`repro.net` — the discrete-event WAN (latency models, loss, NAT,
+  bandwidth) that stands in for LAN/PlanetLab runs;
+- :mod:`repro.crypto` — verifiable PRNG and lightweight signatures;
+- :mod:`repro.cheats` — the Table I cheat-injection framework;
+- :mod:`repro.baselines` — optimal client/server and Donnybrook;
+- :mod:`repro.analysis` — one experiment harness per figure/table.
+
+Quickstart::
+
+    from repro.game import generate_trace
+    from repro.core import WatchmenSession
+
+    trace = generate_trace(num_players=16, num_frames=400, seed=1)
+    report = WatchmenSession(trace).run()
+    print(report.age_pdf(), report.mean_upload_kbps)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the reproduction toolkit CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

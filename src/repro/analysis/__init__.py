@@ -1,0 +1,72 @@
+"""Experiment harnesses: one per figure/table of the paper's evaluation.
+
+- Figure 1 → :mod:`repro.analysis.heatmap`
+- Figure 4 → :mod:`repro.analysis.exposure`
+- Figure 5 → :mod:`repro.analysis.witnesses`
+- Figure 6 → :mod:`repro.analysis.detection`
+- Figure 7 → :mod:`repro.analysis.update_age`
+- Table I  → :mod:`repro.analysis.cheat_matrix`
+- In-text churn stats → :mod:`repro.analysis.churn`
+- Bandwidth scaling → :mod:`repro.analysis.scalability`
+- Text rendering → :mod:`repro.analysis.report`
+"""
+
+from repro.analysis.cheat_matrix import CheatOutcome, cheat_matrix_experiment
+from repro.analysis.churn import ChurnStats, churn_statistics
+from repro.analysis.detection import (
+    DetectionOutcome,
+    calibrate_thresholds,
+    detection_experiment,
+    figure6_experiment,
+)
+from repro.analysis.exposure import ExposureResult, default_models, exposure_experiment
+from repro.analysis.heatmap import (
+    Heatmap,
+    hotspot_concentration,
+    presence_heatmap,
+    render_ascii,
+)
+from repro.analysis.scalability import (
+    ScalabilityPoint,
+    client_server_kbps,
+    naive_p2p_node_kbps,
+    scalability_experiment,
+)
+from repro.analysis.update_age import (
+    UpdateAgeResult,
+    figure7_experiment,
+    update_age_experiment,
+)
+from repro.analysis.witnesses import (
+    WitnessResult,
+    honest_proxy_probability,
+    witness_experiment,
+)
+
+__all__ = [
+    "CheatOutcome",
+    "ChurnStats",
+    "DetectionOutcome",
+    "ExposureResult",
+    "Heatmap",
+    "ScalabilityPoint",
+    "UpdateAgeResult",
+    "WitnessResult",
+    "calibrate_thresholds",
+    "cheat_matrix_experiment",
+    "churn_statistics",
+    "client_server_kbps",
+    "default_models",
+    "detection_experiment",
+    "exposure_experiment",
+    "figure6_experiment",
+    "figure7_experiment",
+    "honest_proxy_probability",
+    "hotspot_concentration",
+    "naive_p2p_node_kbps",
+    "presence_heatmap",
+    "render_ascii",
+    "scalability_experiment",
+    "update_age_experiment",
+    "witness_experiment",
+]

@@ -1,0 +1,19 @@
+"""Comparison architectures: optimal client/server and Donnybrook.
+
+Both implement the :class:`DisseminationModel` interface — given a frame of
+a trace, say which information level each observer has about each subject.
+That is all the exposure (Fig. 4) and witness (Fig. 5) experiments need,
+and the bandwidth model reuses the same classification.
+"""
+
+from repro.baselines.base import DisseminationModel
+from repro.baselines.clientserver import ClientServerModel
+from repro.baselines.donnybrook import DonnybrookModel
+from repro.baselines.watchmen_model import WatchmenModel
+
+__all__ = [
+    "ClientServerModel",
+    "DisseminationModel",
+    "DonnybrookModel",
+    "WatchmenModel",
+]

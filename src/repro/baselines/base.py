@@ -1,0 +1,33 @@
+"""The dissemination-model interface shared by all three architectures.
+
+A dissemination model answers one question per (observer, subject, frame):
+*what class of information does the observer receive about the subject?*
+(one of :class:`~repro.core.disclosure.InfoLevel`).  The exposure,
+witness and bandwidth analyses are generic over this interface, so
+Watchmen, Donnybrook and client/server are compared on identical footing —
+exactly how Figure 4 is constructed.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.game.avatar import AvatarSnapshot
+
+__all__ = ["DisseminationModel"]
+
+
+class DisseminationModel(Protocol):
+    """Architecture-specific information-flow classification."""
+
+    name: str
+
+    def prepare_frame(
+        self, frame: int, snapshots: dict[int, AvatarSnapshot]
+    ) -> None:
+        """Called once per frame before any :meth:`info_level` query."""
+        ...
+
+    def info_level(self, observer_id: int, subject_id: int) -> str:
+        """The :class:`InfoLevel` the observer has about the subject."""
+        ...

@@ -1,0 +1,58 @@
+"""The optimal client/server baseline.
+
+"an optimal Client-Server case where players receive frequent updates for
+avatars in their PVS and nothing for the rest" — the server, with global
+knowledge, sends each player only what his potentially-visible set needs.
+This "gives the minimum necessary information and thus serves as a
+baseline" in Figure 4.
+
+The PVS here is occlusion-culled visibility (line of sight within the
+vision radius) — Quake III's PVS is geometry-based; actual view direction
+does not matter because a player can spin instantly, so the server must
+ship everything potentially visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.disclosure import InfoLevel
+from repro.game.avatar import AvatarSnapshot
+from repro.game.gamemap import GameMap, eye_position
+
+__all__ = ["ClientServerModel"]
+
+
+class ClientServerModel:
+    """Server-filtered dissemination: frequent for PVS, nothing otherwise."""
+
+    name = "client-server"
+
+    def __init__(self, game_map: GameMap, pvs_radius: float = 2500.0):
+        self.game_map = game_map
+        self.pvs_radius = pvs_radius
+        self._visible: dict[int, set[int]] = {}
+
+    def prepare_frame(
+        self, frame: int, snapshots: dict[int, AvatarSnapshot]
+    ) -> None:
+        del frame
+        self._visible = {pid: set() for pid in snapshots}
+        ids = sorted(snapshots)
+        for i, a in enumerate(ids):
+            snap_a = snapshots[a]
+            for b in ids[i + 1 :]:
+                snap_b = snapshots[b]
+                if (
+                    snap_a.position.distance_to(snap_b.position) <= self.pvs_radius
+                    and self.game_map.line_of_sight(
+                        eye_position(snap_a.position), eye_position(snap_b.position)
+                    )
+                ):
+                    self._visible[a].add(b)
+                    self._visible[b].add(a)
+
+    def info_level(self, observer_id: int, subject_id: int) -> str:
+        if observer_id == subject_id:
+            raise ValueError("observer and subject must differ")
+        if subject_id in self._visible.get(observer_id, ()):
+            return InfoLevel.FREQUENT
+        return InfoLevel.NOTHING

@@ -1,0 +1,79 @@
+"""Watchmen as a dissemination model (for exposure/witness analyses).
+
+The same IS/VS/Others classification the protocol nodes run, plus the
+proxy dimension: whoever the verifiable schedule assigns as a player's
+proxy holds *complete* information about him during that epoch — the
+"information leakage caused by proxies" that Figure 4 shows Watchmen pays
+for its verification power.
+"""
+
+from __future__ import annotations
+
+from repro.core.disclosure import InfoLevel, watchmen_observer_level
+from repro.core.proxy import ProxySchedule
+from repro.game.avatar import AvatarSnapshot
+from repro.game.gamemap import GameMap
+from repro.game.interest import (
+    InteractionRecency,
+    InterestConfig,
+    InterestSets,
+    compute_sets,
+)
+
+__all__ = ["WatchmenModel"]
+
+
+class WatchmenModel:
+    """IS/VS/Others + proxy-grade exposure, per frame."""
+
+    name = "watchmen"
+
+    def __init__(
+        self,
+        game_map: GameMap,
+        schedule: ProxySchedule,
+        config: InterestConfig | None = None,
+        recency: InteractionRecency | None = None,
+    ):
+        self.game_map = game_map
+        self.schedule = schedule
+        self.config = config or InterestConfig()
+        self.recency = recency
+        self._sets: dict[int, InterestSets] = {}
+        self._epoch = 0
+
+    def prepare_frame(
+        self, frame: int, snapshots: dict[int, AvatarSnapshot]
+    ) -> None:
+        self._epoch = self.schedule.epoch_of_frame(frame)
+        self._sets = {
+            observer_id: compute_sets(
+                observer,
+                snapshots,
+                self.game_map,
+                frame,
+                self.config,
+                self.recency,
+            )
+            for observer_id, observer in snapshots.items()
+        }
+
+    def sets_of(self, observer_id: int) -> InterestSets:
+        return self._sets[observer_id]
+
+    def proxy_of(self, subject_id: int) -> int:
+        return self.schedule.proxy_of(subject_id, self._epoch)
+
+    def info_level(self, observer_id: int, subject_id: int) -> str:
+        if observer_id == subject_id:
+            raise ValueError("observer and subject must differ")
+        sets = self._sets.get(observer_id)
+        if sets is None:
+            return InfoLevel.INFREQUENT
+        return watchmen_observer_level(
+            observer_id,
+            subject_id,
+            sets.interest,
+            sets.vision,
+            self.proxy_of(subject_id),
+        )

@@ -1,0 +1,69 @@
+"""Coalitions: worst-case information pooling among colluding cheaters.
+
+"This is a worst case scenario as we assume all colluding players work
+together and any information available to one cheating player is
+immediately available to all colluding partners."
+
+:class:`Coalition` joins per-member info levels through
+:func:`~repro.core.disclosure.coalition_category`; the sampling helpers
+draw random coalitions of a given size, which is how the Figure 4/5 curves
+are averaged.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.base import DisseminationModel
+from repro.core.disclosure import (
+    ExposureHistogram,
+    coalition_category,
+)
+
+__all__ = ["Coalition", "sample_coalitions"]
+
+
+class Coalition:
+    """A fixed set of colluding players."""
+
+    def __init__(self, members: set[int]):
+        if not members:
+            raise ValueError("a coalition needs at least one member")
+        self.members = frozenset(members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def joint_category(self, model: DisseminationModel, subject_id: int) -> str:
+        """The coalition's joint knowledge category about one honest player.
+
+        Assumes ``model.prepare_frame`` has been called for the frame.
+        """
+        if subject_id in self.members:
+            raise ValueError("subject must be an honest player")
+        levels = [
+            model.info_level(member, subject_id) for member in self.members
+        ]
+        return coalition_category(levels)
+
+    def frame_histogram(
+        self, model: DisseminationModel, all_players: list[int]
+    ) -> ExposureHistogram:
+        """Exposure categories over all honest players for one frame."""
+        histogram = ExposureHistogram.empty()
+        for subject in all_players:
+            if subject in self.members:
+                continue
+            histogram.add(self.joint_category(model, subject))
+        return histogram
+
+
+def sample_coalitions(
+    players: list[int], size: int, count: int, seed: int = 0
+) -> list[Coalition]:
+    """Draw ``count`` random coalitions of ``size`` members (no duplicates
+    within a coalition; coalitions may repeat for small populations)."""
+    if size < 1 or size > len(players):
+        raise ValueError("coalition size out of range")
+    rng = random.Random(seed)
+    return [Coalition(set(rng.sample(players, size))) for _ in range(count)]

@@ -1,0 +1,188 @@
+"""Disruption-of-information-flow cheats (Table I, first block).
+
+- :class:`EscapingCheat` — terminate the connection to dodge an imminent
+  loss (go silent permanently after a trigger frame);
+- :class:`TimeCheat` (look-ahead) — delay own updates to act on others'
+  information first;
+- :class:`FastRateCheat` — emit game events faster than the game can
+  generate them;
+- :class:`SuppressCorrectCheat` — drop consecutive updates, then send a
+  (teleported) update afterwards;
+- :class:`BlindOpponentCheat` — drop updates so opponents cannot see the
+  cheater (in Watchmen the proxy is the one dissemination path, so the
+  cheat can only starve *everyone* — which the proxy's rate checks see);
+- :class:`NetworkFloodCheat` — flood a victim with duplicated traffic
+  (prevented structurally by distribution; we model it to measure the
+  blast radius).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cheats.base import CheatBehaviour
+from repro.core.messages import GameMessage, StateUpdate
+from repro.game.vector import Vec3
+
+__all__ = [
+    "EscapingCheat",
+    "TimeCheat",
+    "FastRateCheat",
+    "SuppressCorrectCheat",
+    "BlindOpponentCheat",
+    "NetworkFloodCheat",
+]
+
+
+class EscapingCheat(CheatBehaviour):
+    """Go silent from ``escape_frame`` on (pull the plug before dying)."""
+
+    name = "escaping"
+
+    def __init__(self, escape_frame: int, seed: int = 0):
+        super().__init__(cheat_rate=1.0, seed=seed)
+        self.escape_frame = escape_frame
+
+    def filter_outgoing(self, frame, message, destination):
+        if frame >= self.escape_frame:
+            self.log.record_cheat(frame)
+            return []
+        self.log.record_honest()
+        return [(message, destination)]
+
+
+class TimeCheat(CheatBehaviour):
+    """Look-ahead: hold own updates back ``delay_frames`` before sending.
+
+    The cheater sees everyone's frame-f state before committing his own
+    frame-f actions.  Updates come out stamped with their original frame
+    but physically late — the proxy's skew check is built for exactly this.
+    """
+
+    name = "time-cheat"
+
+    def __init__(self, delay_frames: int = 10, seed: int = 0):
+        super().__init__(cheat_rate=1.0, seed=seed)
+        if delay_frames < 1:
+            raise ValueError("delay_frames must be at least 1")
+        self.delay_frames = delay_frames
+        self._held: list[tuple[int, GameMessage, int]] = []
+
+    def filter_outgoing(self, frame, message, destination):
+        self._held.append((frame + self.delay_frames, message, destination))
+        self.log.record_cheat(frame)
+        return []
+
+    def extra_messages(self, frame):
+        due = [(m, d) for release, m, d in self._held if release <= frame]
+        self._held = [
+            (release, m, d) for release, m, d in self._held if release > frame
+        ]
+        return due
+
+
+class FastRateCheat(CheatBehaviour):
+    """Send each state update ``multiplier`` times (inflated event rate)."""
+
+    name = "fast-rate"
+
+    def __init__(self, multiplier: int = 3, cheat_rate: float = 1.0, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        if multiplier < 2:
+            raise ValueError("multiplier must be at least 2")
+        self.multiplier = multiplier
+        self._extra_sequence = 1_000_000  # fabricated sequence space
+
+    def filter_outgoing(self, frame, message, destination):
+        if not isinstance(message, StateUpdate) or not self._roll():
+            return [(message, destination)]
+        self.log.record_cheat(frame)
+        copies = [(message, destination)]
+        for _ in range(self.multiplier - 1):
+            self._extra_sequence += 1
+            copies.append(
+                (replace(message, sequence=self._extra_sequence), destination)
+            )
+        return copies
+
+
+class SuppressCorrectCheat(CheatBehaviour):
+    """Drop ``burst_length`` consecutive updates, then "correct" position.
+
+    While suppressed the avatar keeps moving; the update that ends the
+    burst teleports it to wherever is most convenient (we offset it by the
+    suppressed travel, doubled — the classic warp-out-of-danger move).
+    """
+
+    name = "suppress-correct"
+
+    def __init__(
+        self, burst_length: int = 8, cheat_rate: float = 0.05, seed: int = 0
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        self.burst_length = burst_length
+        self._suppressing_until = -1
+        self._suppressed_from: Vec3 | None = None
+
+    def filter_outgoing(self, frame, message, destination):
+        if not isinstance(message, StateUpdate):
+            return [(message, destination)]
+        if frame < self._suppressing_until:
+            self.log.record_cheat(frame)
+            self._suppressed_from = self._suppressed_from or message.snapshot.position
+            return []
+        if self._suppressed_from is not None:
+            # End of burst: send the "corrected" (warped) update.
+            origin = self._suppressed_from
+            self._suppressed_from = None
+            warped = origin + (message.snapshot.position - origin) * 2.0
+            snapshot = replace(message.snapshot, position=warped)
+            self.log.record_cheat(frame)
+            return [(replace(message, snapshot=snapshot), destination)]
+        if self._roll():
+            self._suppressing_until = frame + self.burst_length
+            self._suppressed_from = message.snapshot.position
+            self.log.record_cheat(frame)
+            return []
+        return [(message, destination)]
+
+
+class BlindOpponentCheat(CheatBehaviour):
+    """Drop own state updates with ``cheat_rate`` (opponents lose sight)."""
+
+    name = "blind-opponent"
+
+    def __init__(self, cheat_rate: float = 0.5, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+
+    def filter_outgoing(self, frame, message, destination):
+        if isinstance(message, StateUpdate) and self._roll():
+            self.log.record_cheat(frame)
+            return []
+        return [(message, destination)]
+
+
+class NetworkFloodCheat(CheatBehaviour):
+    """Duplicate every outgoing message ``amplification`` times at a victim."""
+
+    name = "network-flood"
+
+    def __init__(self, victim_id: int, amplification: int = 10, seed: int = 0):
+        super().__init__(cheat_rate=1.0, seed=seed)
+        if amplification < 1:
+            raise ValueError("amplification must be positive")
+        self.victim_id = victim_id
+        self.amplification = amplification
+        self._extra_sequence = 2_000_000
+
+    def filter_outgoing(self, frame, message, destination):
+        self.log.record_cheat(frame)
+        flood = [(message, destination)]
+        for _ in range(self.amplification):
+            self._extra_sequence += 1
+            try:
+                forged = replace(message, sequence=self._extra_sequence)
+            except TypeError:  # message without a sequence field
+                forged = message
+            flood.append((forged, self.victim_id))
+        return flood

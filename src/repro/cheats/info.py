@@ -1,0 +1,128 @@
+"""Unauthorized-access probes: sniffing, maphack, rate analysis.
+
+These cheats are *prevented* rather than detected: Watchmen minimises what
+reaches a player's machine, so there is nothing useful to sniff.  The
+probes below quantify exactly that — they are measurement instruments over
+a dissemination model, not behaviours:
+
+- :class:`SniffingProbe` — what fraction of the game state is present in
+  the cheater's inbound traffic at all (a packet sniffer's ceiling);
+- :class:`MaphackProbe` — of the players *not* legitimately visible, how
+  many could a wallhack renderer draw with fresh coordinates;
+- :class:`RateAnalysisProbe` — could the cheater infer who is targeting
+  him purely from per-sender inbound rates (defeated by proxy
+  indirection: every inbound byte has the same immediate sender)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import DisseminationModel
+from repro.core.disclosure import InfoLevel
+
+__all__ = ["SniffingProbe", "MaphackProbe", "RateAnalysisProbe", "ProbeResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Outcome of one probe over one frame."""
+
+    cheater_id: int
+    exposed: int  # players the probe could exploit
+    total: int  # honest players considered
+
+    @property
+    def fraction(self) -> float:
+        return self.exposed / self.total if self.total else 0.0
+
+
+class SniffingProbe:
+    """Counts players about whom *any* state beyond position arrives."""
+
+    def measure(
+        self, model: DisseminationModel, cheater_id: int, players: list[int]
+    ) -> ProbeResult:
+        exposed = 0
+        total = 0
+        for subject in players:
+            if subject == cheater_id:
+                continue
+            total += 1
+            level = model.info_level(cheater_id, subject)
+            if level in (
+                InfoLevel.COMPLETE,
+                InfoLevel.FREQUENT,
+                InfoLevel.DEAD_RECKONING,
+            ):
+                exposed += 1
+        return ProbeResult(cheater_id=cheater_id, exposed=exposed, total=total)
+
+
+class MaphackProbe:
+    """Counts invisible players the cheater still has fresh coordinates for.
+
+    ``visible`` must be the set the cheater could legitimately render
+    (his occlusion-culled vision).  A maphack exploits precise positions
+    of players outside that set — i.e. FREQUENT/DR/COMPLETE info about
+    invisible players.  Infrequent (1 Hz, position-only) data is what the
+    architecture deliberately leaves: too stale to aim with.
+    """
+
+    def measure(
+        self,
+        model: DisseminationModel,
+        cheater_id: int,
+        players: list[int],
+        visible: frozenset[int],
+    ) -> ProbeResult:
+        exposed = 0
+        total = 0
+        for subject in players:
+            if subject == cheater_id or subject in visible:
+                continue
+            total += 1
+            level = model.info_level(cheater_id, subject)
+            if level in (
+                InfoLevel.COMPLETE,
+                InfoLevel.FREQUENT,
+                InfoLevel.DEAD_RECKONING,
+            ):
+                exposed += 1
+        return ProbeResult(cheater_id=cheater_id, exposed=exposed, total=total)
+
+
+class RateAnalysisProbe:
+    """Can inbound-rate analysis reveal who is watching the cheater?
+
+    ``inbound_sources(cheater)`` maps immediate datagram sources to
+    counts.  Under Watchmen every update about player X arrives from X's
+    *proxy*, and subscriptions to the cheater are handled by the
+    *cheater's own proxy* without telling him — so inbound rates carry no
+    information about subscribers.  Under a direct-subscription system the
+    per-source rate is exactly the subscriber signal.
+    """
+
+    def measure(
+        self,
+        cheater_id: int,
+        inbound_counts: dict[int, int],
+        true_subscribers: frozenset[int],
+    ) -> ProbeResult:
+        """How many true subscribers are identifiable as high-rate sources?"""
+        if not true_subscribers:
+            return ProbeResult(cheater_id=cheater_id, exposed=0, total=0)
+        if not inbound_counts:
+            return ProbeResult(
+                cheater_id=cheater_id, exposed=0, total=len(true_subscribers)
+            )
+        mean_rate = sum(inbound_counts.values()) / len(inbound_counts)
+        high_rate_sources = {
+            source for source, count in inbound_counts.items() if count > mean_rate
+        }
+        identified = len(high_rate_sources & true_subscribers)
+        return ProbeResult(
+            cheater_id=cheater_id,
+            exposed=identified,
+            total=len(true_subscribers),
+        )

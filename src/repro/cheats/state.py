@@ -1,0 +1,367 @@
+"""Invalid-update cheats (Table I, second block) plus unauthorized sends.
+
+- :class:`SpeedHack` — move at ``factor`` × the physics speed cap "at
+  random times" (the Figure 6 position cheat);
+- :class:`TeleportCheat` — occasional long-range warps;
+- :class:`FakeKillCheat` — unduly claim kills (the Figure 6 kill cheat);
+- :class:`GuidanceLieCheat` — send guidance predictions unrelated to the
+  avatar's real motion (the Figure 6 guidance cheat);
+- :class:`BogusSubscriptionCheat` — IS/VS-subscribe to players one cannot
+  see (the Figure 6 IS-sub / VS-sub cheats — a maphack consumer);
+- :class:`ReplayCheat` — re-send captured signed messages of another player;
+- :class:`SpoofCheat` — send messages claiming another player's identity;
+- :class:`ConsistencyCheat` — send different state updates to different
+  players by bypassing the proxy with direct sends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cheats.base import CheatBehaviour
+from repro.core.messages import (
+    SUB_INTEREST,
+    SUB_VISION,
+    GameMessage,
+    GuidanceMessage,
+    KillClaim,
+    StateUpdate,
+    SubscriptionRequest,
+)
+from repro.game.deadreckoning import GuidancePrediction
+from repro.game.vector import Vec3
+
+__all__ = [
+    "AimbotCheat",
+    "SpeedHack",
+    "TeleportCheat",
+    "FakeKillCheat",
+    "GuidanceLieCheat",
+    "BogusSubscriptionCheat",
+    "ReplayCheat",
+    "SpoofCheat",
+    "ConsistencyCheat",
+]
+
+
+class SpeedHack(CheatBehaviour):
+    """Amplify own movement: "cheaters move randomly at [1.5–3]× the
+    acceptable speed".
+
+    The hack accumulates a position offset: whenever it fires, the avatar's
+    published position jumps ahead along its velocity by (factor−1) frames'
+    worth of travel, compounding — exactly what a client-side speed
+    multiplier looks like from outside.
+    """
+
+    name = "speed-hack"
+
+    def __init__(
+        self, factor: float = 2.0, cheat_rate: float = 0.10, seed: int = 0
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1 to be a speed-up")
+        self.factor = factor
+        self._offset = Vec3.zero()
+
+    def mutate_snapshot(self, frame, snapshot):
+        if snapshot.alive and self._roll():
+            step = snapshot.velocity * (0.05 * (self.factor - 1.0))
+            if step.length() < 1.0:
+                # Standing still: surge in the facing direction instead.
+                step = Vec3.from_yaw(snapshot.yaw, 320.0 * 0.05 * (self.factor - 1.0))
+            self._offset = self._offset + step
+            self.log.record_cheat(frame)
+        if self._offset.length() == 0.0:
+            return snapshot
+        return replace(snapshot, position=snapshot.position + self._offset)
+
+
+class TeleportCheat(CheatBehaviour):
+    """Occasional instant warps of ``distance`` units."""
+
+    name = "teleport"
+
+    def __init__(
+        self, distance: float = 600.0, cheat_rate: float = 0.02, seed: int = 0
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        self.distance = distance
+        self._offset = Vec3.zero()
+
+    def mutate_snapshot(self, frame, snapshot):
+        if snapshot.alive and self._roll():
+            import math
+
+            angle = self.rng.uniform(-math.pi, math.pi)
+            self._offset = self._offset + Vec3.from_yaw(angle, self.distance)
+            self.log.record_cheat(frame)
+        if self._offset.length() == 0.0:
+            return snapshot
+        return replace(snapshot, position=snapshot.position + self._offset)
+
+
+class FakeKillCheat(CheatBehaviour):
+    """Claim kills that never happened against arbitrary victims."""
+
+    name = "fake-kill"
+
+    def __init__(
+        self,
+        victim_ids: list[int],
+        weapon: str = "railgun",
+        cheat_rate: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        if not victim_ids:
+            raise ValueError("need candidate victims")
+        self.victim_ids = list(victim_ids)
+        self.weapon = weapon
+        self._sequence = 3_000_000
+        self.player_id: int | None = None  # filled by the harness
+        self.proxy_lookup = None  # frame -> my proxy id, filled by harness
+
+    def extra_messages(self, frame):
+        if self.player_id is None or self.proxy_lookup is None:
+            return []
+        if not self._roll():
+            return []
+        self.log.record_cheat(frame)
+        self._sequence += 1
+        victim = self.rng.choice(self.victim_ids)
+        claim = KillClaim(
+            sender_id=self.player_id,
+            victim_id=victim,
+            frame=frame,
+            sequence=self._sequence,
+            weapon=self.weapon,
+            claimed_distance=self.rng.uniform(100.0, 3000.0),
+        )
+        return [(claim, self.proxy_lookup(frame))]
+
+
+class GuidanceLieCheat(CheatBehaviour):
+    """Rewrite guidance predictions to point somewhere unrelated."""
+
+    name = "guidance-lie"
+
+    def __init__(self, cheat_rate: float = 0.5, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+
+    def filter_outgoing(self, frame, message, destination):
+        if not isinstance(message, GuidanceMessage):
+            return [(message, destination)]
+        if not message.snapshot.alive:
+            # Lying about a corpse misleads nobody; not a cheat event.
+            return [(message, destination)]
+        if not self._roll():
+            return [(message, destination)]
+        self.log.record_cheat(frame)
+        import math
+
+        fake_direction = Vec3.from_yaw(
+            self.rng.uniform(-math.pi, math.pi), 320.0
+        )
+        lie = GuidancePrediction(
+            frame=message.prediction.frame,
+            origin=message.prediction.origin,
+            velocity=fake_direction,
+            yaw=message.prediction.yaw,
+            horizon_frames=message.prediction.horizon_frames,
+        )
+        return [(replace(message, prediction=lie), destination)]
+
+
+class BogusSubscriptionCheat(CheatBehaviour):
+    """Subscribe to players far outside one's vision (maphack feeding).
+
+    The harness supplies ``invisible_targets(frame)`` — players the
+    cheater could *not* legitimately see; the cheat IS- or VS-subscribes
+    to one of them through the regular proxy path.
+    """
+
+    name = "bogus-subscription"
+
+    def __init__(
+        self,
+        kind: str = SUB_INTEREST,
+        cheat_rate: float = 0.10,
+        seed: int = 0,
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        if kind not in (SUB_INTEREST, SUB_VISION):
+            raise ValueError("kind must be an IS or VS subscription")
+        self.kind = kind
+        self._sequence = 4_000_000
+        self.player_id: int | None = None
+        self.proxy_lookup = None
+        self.invisible_targets = None  # frame -> list of player ids
+
+    def extra_messages(self, frame):
+        if (
+            self.player_id is None
+            or self.proxy_lookup is None
+            or self.invisible_targets is None
+        ):
+            return []
+        if not self._roll():
+            return []
+        targets = self.invisible_targets(frame)
+        if not targets:
+            self.log.record_honest()
+            return []
+        self.log.record_cheat(frame)
+        self._sequence += 1
+        request = SubscriptionRequest(
+            sender_id=self.player_id,
+            target_id=self.rng.choice(targets),
+            kind=self.kind,
+            frame=frame,
+            sequence=self._sequence,
+        )
+        return [(request, self.proxy_lookup(frame))]
+
+
+class AimbotCheat(CheatBehaviour):
+    """Snap the published aim instantly onto the nearest enemy.
+
+    "Aimbots: using an intelligent program to provide ... automatic weapon
+    aiming — detection by proxy (statistical analysis)."  The statistical
+    tell is angular speed beyond the engine's turn rate, which the
+    :class:`~repro.core.verification.AimVerifier` watches.
+    """
+
+    name = "aimbot"
+
+    def __init__(self, cheat_rate: float = 0.10, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        self.target_source = None  # harness: frame -> target AvatarSnapshot
+
+    def mutate_snapshot(self, frame, snapshot):
+        if self.target_source is None or not snapshot.alive:
+            return snapshot
+        if not self._roll():
+            return snapshot
+        target = self.target_source(frame)
+        if target is None:
+            self.log.record_honest()
+            return snapshot
+        import math
+
+        snap_yaw = (target.position - snapshot.position).yaw()
+        delta = abs((snap_yaw - snapshot.yaw + math.pi) % (2 * math.pi) - math.pi)
+        if delta < 1.2:
+            self.log.record_honest()
+            return snapshot  # no visible snap; not a cheat sample
+        self.log.record_cheat(frame)
+        return replace(snapshot, yaw=snap_yaw)
+
+
+class ReplayCheat(CheatBehaviour):
+    """Capture signed messages passing through (as a proxy) and re-send them.
+
+    "Replay cheat: resend signed & encrypted updates of a different
+    player."  The sequence screen at every receiver makes each replayed
+    message land exactly once in a duplicate check.
+    """
+
+    name = "replay"
+
+    def __init__(self, cheat_rate: float = 0.05, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        self._captured: list[GameMessage] = []
+        self.roster: list[int] | None = None  # filled by the harness
+
+    def capture(self, message: GameMessage) -> None:
+        """Record a signed third-party message seen in transit."""
+        if message.signature is not None and len(self._captured) < 512:
+            self._captured.append(message)
+
+    def observe_incoming(self, frame: int, src: int, message: GameMessage) -> None:
+        """Node hook: sniff signed messages arriving at the cheater."""
+        del frame, src
+        self.capture(message)
+
+    def extra_messages(self, frame):
+        if not self._captured or not self.roster or not self._roll():
+            return []
+        self.log.record_cheat(frame)
+        message = self.rng.choice(self._captured)
+        return [(message, self.rng.choice(self.roster))]
+
+
+class SpoofCheat(CheatBehaviour):
+    """Send state updates pretending to be ``victim_id``.
+
+    The forged message carries the victim's sender_id but is necessarily
+    signed with the cheater's key — signature verification at the receiver
+    is the defence.
+    """
+
+    name = "spoof"
+
+    def __init__(self, victim_id: int, cheat_rate: float = 0.05, seed: int = 0):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        self.victim_id = victim_id
+        self._sequence = 5_000_000
+        self.snapshot_source = None  # harness: frame -> victim AvatarSnapshot
+        self.proxy_lookup = None
+
+    def extra_messages(self, frame):
+        if self.snapshot_source is None or self.proxy_lookup is None:
+            return []
+        if not self._roll():
+            return []
+        snapshot = self.snapshot_source(frame)
+        if snapshot is None:
+            self.log.record_honest()
+            return []
+        self.log.record_cheat(frame)
+        self._sequence += 1
+        forged = StateUpdate(
+            sender_id=self.victim_id,
+            frame=frame,
+            sequence=self._sequence,
+            snapshot=snapshot,
+        )
+        return [(forged, self.proxy_lookup(frame))]
+
+
+class ConsistencyCheat(CheatBehaviour):
+    """Tell different players different things about one's own position.
+
+    In Watchmen all updates flow through the proxy, so the only way to be
+    inconsistent is to *also* send direct (conflicting) updates to chosen
+    players — which receivers flag as proxy-bypassing traffic.
+    """
+
+    name = "consistency"
+
+    def __init__(
+        self, direct_victims: list[int], cheat_rate: float = 0.10, seed: int = 0
+    ):
+        super().__init__(cheat_rate=cheat_rate, seed=seed)
+        if not direct_victims:
+            raise ValueError("need victims for direct sends")
+        self.direct_victims = list(direct_victims)
+        self._sequence = 6_000_000
+
+    def filter_outgoing(self, frame, message, destination):
+        sends = [(message, destination)]
+        if isinstance(message, StateUpdate) and self._roll():
+            self.log.record_cheat(frame)
+            self._sequence += 1
+            lied_position = message.snapshot.position + Vec3(
+                self.rng.uniform(-400.0, 400.0),
+                self.rng.uniform(-400.0, 400.0),
+                0.0,
+            )
+            lie = replace(
+                message,
+                sequence=self._sequence,
+                snapshot=replace(message.snapshot, position=lied_position),
+            )
+            sends.append((lie, self.rng.choice(self.direct_victims)))
+        return sends

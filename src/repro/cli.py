@@ -1,0 +1,207 @@
+"""Command-line interface: simulate, replay, and regenerate experiments.
+
+The paper's workflow — record a trace, replay it under different network
+and proxy configurations, run the evaluation studies — as a CLI:
+
+    python -m repro simulate --players 16 --frames 400 --out trace.jsonl
+    python -m repro replay trace.jsonl --latency king --loss 0.01
+    python -m repro experiment fig4 --players 16 --frames 300
+    python -m repro experiment all
+
+Every experiment prints the same rows/series the corresponding paper
+figure or table reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    cheat_matrix_experiment,
+    churn_statistics,
+    exposure_experiment,
+    figure6_experiment,
+    figure7_experiment,
+    hotspot_concentration,
+    presence_heatmap,
+    render_ascii,
+    scalability_experiment,
+    witness_experiment,
+)
+from repro.analysis.report import (
+    render_cheat_matrix,
+    render_churn,
+    render_detection,
+    render_exposure,
+    render_scalability,
+    render_update_age,
+    render_witnesses,
+)
+from repro.core import WatchmenSession
+from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
+from repro.net.latency import king_like, peerwise_like, uniform_lan
+from repro.net.transport import NetworkConfig
+
+__all__ = ["main", "build_parser"]
+
+MAPS = {
+    "longest-yard": make_longest_yard,
+    "corridors": make_corridors,
+}
+
+EXPERIMENTS = (
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table1",
+    "churn",
+    "scalability",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Watchmen (ICDCS 2013) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="record a deathmatch trace")
+    simulate.add_argument("--players", type=int, default=16)
+    simulate.add_argument("--frames", type=int, default=400)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--map", choices=sorted(MAPS), default="longest-yard")
+    simulate.add_argument("--npc-fraction", type=float, default=0.0)
+    simulate.add_argument("--out", required=True, help="output JSONL path")
+
+    replay = sub.add_parser("replay", help="replay a trace through Watchmen")
+    replay.add_argument("trace", help="JSONL trace file")
+    replay.add_argument("--map", choices=sorted(MAPS), default="longest-yard")
+    replay.add_argument(
+        "--latency", choices=("king", "peerwise", "lan"), default="king"
+    )
+    replay.add_argument("--loss", type=float, default=0.01)
+    replay.add_argument("--servers", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS + ("all",))
+    experiment.add_argument("--players", type=int, default=16)
+    experiment.add_argument("--frames", type=int, default=300)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--map", choices=sorted(MAPS), default="longest-yard")
+    return parser
+
+
+def _latency_for(name: str, size: int, seed: int):
+    if name == "king":
+        return king_like(size, seed=seed)
+    if name == "peerwise":
+        return peerwise_like(size, seed=seed)
+    return uniform_lan(size)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    game_map = MAPS[args.map]()
+    trace = generate_trace(
+        num_players=args.players,
+        num_frames=args.frames,
+        seed=args.seed,
+        npc_fraction=args.npc_fraction,
+        game_map=game_map,
+    )
+    trace.save_jsonl(args.out)
+    print(
+        f"recorded {args.players} players x {args.frames} frames on "
+        f"{args.map}: {len(trace.shots)} shots, {len(trace.kills)} kills "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = GameTrace.load_jsonl(args.trace)
+    game_map = MAPS[args.map]()
+    size = len(trace.player_ids()) + args.servers
+    session = WatchmenSession(
+        trace,
+        game_map=game_map,
+        latency=_latency_for(args.latency, size, trace.seed),
+        network_config=NetworkConfig(loss_rate=args.loss, seed=trace.seed),
+        servers=args.servers,
+    )
+    report = session.run()
+    print(f"players            : {report.num_players}")
+    print(f"messages sent/lost : {report.messages_sent}/{report.messages_lost}")
+    print(f"player upload      : mean {report.mean_upload_kbps:.0f} kbps, "
+          f"max {report.max_upload_kbps:.0f} kbps")
+    for server, kbps in report.server_upload_kbps.items():
+        print(f"server {server} upload    : {kbps:.0f} kbps")
+    print("update ages        : "
+          + ", ".join(f"{a}f:{p:.1%}" for a, p in sorted(report.age_pdf().items())))
+    print(f"stale (>=3 frames) : {report.stale_fraction(3):.2%}")
+    print(f"banned             : {sorted(report.banned) or 'none'}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    game_map = MAPS[args.map]()
+    trace = generate_trace(
+        num_players=args.players,
+        num_frames=args.frames,
+        seed=args.seed,
+        game_map=game_map,
+    )
+    names = EXPERIMENTS if args.name == "all" else (args.name,)
+    for name in names:
+        print(f"\n=== {name} ===")
+        if name == "fig1":
+            heatmap = presence_heatmap(trace, game_map, grid=20)
+            print(render_ascii(heatmap))
+            print(
+                f"top-10%-cell presence: "
+                f"{hotspot_concentration(heatmap, 0.10):.0%}"
+            )
+        elif name == "fig4":
+            sizes = [1, 2, 4, max(2, args.players // 4)]
+            print(render_exposure(
+                exposure_experiment(trace, game_map, sorted(set(sizes)))
+            ))
+        elif name == "fig5":
+            sizes = sorted({1, 2, 4, max(2, args.players // 4)})
+            print(render_witnesses(
+                witness_experiment(trace, game_map, sizes)
+            ))
+        elif name == "fig6":
+            print(render_detection(figure6_experiment(trace, game_map)))
+        elif name == "fig7":
+            print(render_update_age(figure7_experiment(trace, game_map)))
+        elif name == "table1":
+            print(render_cheat_matrix(cheat_matrix_experiment(trace, game_map)))
+        elif name == "churn":
+            print(render_churn(churn_statistics(trace, game_map)))
+        elif name == "scalability":
+            counts = sorted({4, 8, args.players})
+            print(render_scalability(
+                scalability_experiment(counts, num_frames=120,
+                                       game_map=game_map)
+            ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "replay": cmd_replay,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Watchmen core: the paper's contribution.
+
+The one-stop import surface:
+
+- :class:`~repro.core.config.WatchmenConfig` — all protocol tunables;
+- :class:`~repro.core.protocol.WatchmenSession` — run a trace through the
+  full protocol over a simulated WAN and collect metrics;
+- :class:`~repro.core.proxy.ProxySchedule` — random/verifiable/dynamic
+  proxy assignment;
+- :mod:`~repro.core.verification` — sanity-check verifiers and ratings;
+- :mod:`~repro.core.reputation` — reputation & banning backends;
+- :mod:`~repro.core.disclosure` — information-exposure accounting.
+"""
+
+from repro.core.action_repetition import ActionRepetitionVerifier
+from repro.core.admission import (
+    AdmissionDecision,
+    estimate_proxy_kbps,
+    estimate_publisher_kbps,
+    feasibility_test,
+)
+from repro.core.config import WatchmenConfig
+from repro.core.disclosure import (
+    ExposureCategory,
+    ExposureHistogram,
+    InfoLevel,
+    coalition_category,
+    watchmen_observer_level,
+)
+from repro.core.messages import (
+    SUB_INTEREST,
+    SUB_VISION,
+    GuidanceMessage,
+    HandoffMessage,
+    KillClaim,
+    PositionUpdate,
+    StateUpdate,
+    SubscriptionRequest,
+    message_size_bits,
+    message_size_bytes,
+    signable_bytes,
+)
+from repro.core.membership import MembershipView, RemovalProposal
+from repro.core.node import HonestBehaviour, NodeBehaviour, WatchmenNode
+from repro.core.protocol import SessionReport, WatchmenSession
+from repro.core.proxy import ProxyAssignment, ProxySchedule
+from repro.core.reputation import (
+    BetaReputation,
+    InteractionTag,
+    ReputationBoard,
+    ThresholdReputation,
+)
+from repro.core.subscriptions import (
+    PlannedSubscriptions,
+    SubscriberTable,
+    SubscriptionPlanner,
+)
+from repro.core.verification import (
+    CheatRating,
+    CheckKind,
+    Confidence,
+    DeviationCalibration,
+    GuidanceVerifier,
+    KillVerifier,
+    PositionVerifier,
+    RateVerifier,
+    SubscriptionVerifier,
+)
+
+__all__ = [
+    "ActionRepetitionVerifier",
+    "AdmissionDecision",
+    "BetaReputation",
+    "CheatRating",
+    "CheckKind",
+    "Confidence",
+    "DeviationCalibration",
+    "ExposureCategory",
+    "ExposureHistogram",
+    "GuidanceMessage",
+    "GuidanceVerifier",
+    "HandoffMessage",
+    "HonestBehaviour",
+    "InfoLevel",
+    "InteractionTag",
+    "KillClaim",
+    "KillVerifier",
+    "MembershipView",
+    "NodeBehaviour",
+    "PlannedSubscriptions",
+    "PositionUpdate",
+    "PositionVerifier",
+    "ProxyAssignment",
+    "ProxySchedule",
+    "RateVerifier",
+    "RemovalProposal",
+    "ReputationBoard",
+    "SUB_INTEREST",
+    "SUB_VISION",
+    "SessionReport",
+    "StateUpdate",
+    "SubscriberTable",
+    "SubscriptionPlanner",
+    "SubscriptionRequest",
+    "SubscriptionVerifier",
+    "ThresholdReputation",
+    "WatchmenConfig",
+    "WatchmenNode",
+    "WatchmenSession",
+    "coalition_category",
+    "estimate_proxy_kbps",
+    "estimate_publisher_kbps",
+    "feasibility_test",
+    "message_size_bits",
+    "message_size_bytes",
+    "signable_bytes",
+    "watchmen_observer_level",
+]

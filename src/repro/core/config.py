@@ -1,0 +1,99 @@
+"""Central configuration for the Watchmen protocol.
+
+All paper-given constants live here with their provenance:
+
+- 50 ms frames (Quake III event loop);
+- frequent IS updates every frame, guidance/position updates every second;
+- proxy renewal "every couple of seconds" — 40 frames = 2 s by default;
+- handoff follow-up two predecessors deep;
+- IS of size 5, ±60° vision cone (slack-enlarged);
+- ~100-bit signatures, ~700-bit average state updates;
+- 150 ms tolerable latency ⇒ updates older than 3 frames count as loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.game.interest import InterestConfig
+
+__all__ = ["WatchmenConfig"]
+
+
+@dataclass(frozen=True)
+class WatchmenConfig:
+    """Tuning knobs of a Watchmen session."""
+
+    frame_seconds: float = 0.05
+    # -- dissemination rates (paper Section III-A) --------------------------
+    frequent_interval_frames: int = 1  # IS: every 50 ms
+    guidance_interval_frames: int = 20  # VS: one per second
+    position_interval_frames: int = 20  # Others: typically every second
+    guidance_horizon_frames: int = 20  # DR prediction validity
+    guidance_check_frames: int = 8  # verification window for guidance
+    # -- proxy architecture (Sections III-B, IV) -----------------------------
+    proxy_period_frames: int = 40  # renewal "every couple of seconds"
+    handoff_depth: int = 2  # follow-up on two previous proxies
+    common_seed: bytes = b"watchmen-session"
+    # -- subscriptions (Section VI latency optimizations) --------------------
+    subscription_retention_frames: int = 40  # keep subs alive w/o refresh
+    predict_ahead: bool = True  # subscribe for the *coming* frame
+    relax_first_hop: bool = False  # send updates directly (lower security)
+    # -- interest management --------------------------------------------------
+    interest: InterestConfig = field(default_factory=InterestConfig)
+    # -- wire-size model (Section IV: 100-bit signatures, 700-bit updates) ---
+    signature_bits: int = 100
+    state_update_bits: int = 700  # full (non-delta) state update payload
+    #: Delta coding ("updates show high temporal similarities and can be
+    #: delta-coded, only including the differences"): a delta update pays a
+    #: small base plus per-changed-field costs.
+    delta_base_bits: int = 64
+    delta_field_bits: dict = None  # type: ignore[assignment]
+    position_update_bits: int = 220
+    guidance_bits: int = 420
+    subscription_bits: int = 160
+    handoff_bits_per_entry: int = 500
+    header_bits: int = 224  # UDP/IP + game header
+    # -- verification depth ----------------------------------------------------
+    #: Enable the high-cost action-repetition replay check at proxies
+    #: (Section V-A's "more accuracy but higher costs" option).
+    action_repetition: bool = False
+    # -- responsiveness accounting -------------------------------------------
+    max_useful_age_frames: int = 3  # ≥150 ms counts as loss (Quake bound)
+
+    _DELTA_FIELD_BITS = {
+        "position": 96,
+        "velocity": 96,
+        "yaw": 32,
+        "health": 16,
+        "armor": 16,
+        "weapon": 24,
+        "ammo": 16,
+        "alive": 8,
+    }
+
+    def __post_init__(self) -> None:
+        if self.delta_field_bits is None:
+            object.__setattr__(
+                self, "delta_field_bits", dict(self._DELTA_FIELD_BITS)
+            )
+        if self.frame_seconds <= 0:
+            raise ValueError("frame_seconds must be positive")
+        if self.proxy_period_frames <= 0:
+            raise ValueError("proxy_period_frames must be positive")
+        if self.frequent_interval_frames <= 0:
+            raise ValueError("frequent_interval_frames must be positive")
+        if self.guidance_interval_frames <= 0:
+            raise ValueError("guidance_interval_frames must be positive")
+        if self.position_interval_frames <= 0:
+            raise ValueError("position_interval_frames must be positive")
+        if self.handoff_depth < 0:
+            raise ValueError("handoff_depth must be non-negative")
+        if self.signature_bits <= 0 or self.state_update_bits <= 0:
+            raise ValueError("wire sizes must be positive")
+
+    def epoch_of_frame(self, frame: int) -> int:
+        """The proxy epoch a frame belongs to."""
+        if frame < 0:
+            raise ValueError("frame must be non-negative")
+        return frame // self.proxy_period_frames

@@ -1,0 +1,143 @@
+"""Information-disclosure accounting (Figure 4 & the sniffing analysis).
+
+The paper measures "the joint information obtained by a coalition of
+colluding cheaters about other players", assuming the worst case where
+"any information available to one cheating player is immediately available
+to all colluding partners".  Per honest player the coalition ends up in
+exactly one of six categories (the Figure 4 stack, most→least
+informative):
+
+``COMPLETE`` (some colluder is his proxy) → ``FREQ_DR`` (frequent state
+updates *and* dead-reckoning guidance) → ``FREQ`` → ``DR`` → ``INFREQ``
+(position-only) → ``NOTHING``.
+
+:func:`coalition_category` folds per-member levels into the joint
+category; architectures only need to say which *per-observer* level each
+player grants each observer (see :mod:`repro.baselines` and
+:func:`watchmen_observer_level`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InfoLevel",
+    "ExposureCategory",
+    "coalition_category",
+    "watchmen_observer_level",
+    "ExposureHistogram",
+]
+
+
+class InfoLevel:
+    """What one observer receives about one subject, per architecture."""
+
+    COMPLETE = "complete"  # proxy-grade: every message, subscriptions
+    FREQUENT = "frequent"  # per-frame full state updates (IS)
+    DEAD_RECKONING = "dr"  # 1 Hz guidance with predictions (VS)
+    INFREQUENT = "infrequent"  # 1 Hz position-only (Others)
+    NOTHING = "nothing"  # no information at all (client-server non-PVS)
+
+    ALL = (COMPLETE, FREQUENT, DEAD_RECKONING, INFREQUENT, NOTHING)
+
+
+class ExposureCategory:
+    """Joint coalition knowledge — the Figure 4 stacked-histogram bins."""
+
+    COMPLETE = "complete"
+    FREQ_DR = "freq+dr"
+    FREQ = "freq"
+    DR = "dr"
+    INFREQ = "infreq"
+    NOTHING = "nothing"
+
+    #: Most → least informative, the stacking order of Figure 4.
+    ORDER = (COMPLETE, FREQ_DR, FREQ, DR, INFREQ, NOTHING)
+
+
+def coalition_category(levels: list[str]) -> str:
+    """Fold the per-colluder info levels about one honest player.
+
+    Frequent updates and guidance "complement each other, even though
+    frequent updates are more detailed they are not directly comparable",
+    hence the distinct FREQ_DR category when the coalition holds both.
+    """
+    if not levels:
+        return ExposureCategory.NOTHING
+    unknown = set(levels) - set(InfoLevel.ALL)
+    if unknown:
+        raise ValueError(f"unknown info levels {sorted(unknown)}")
+    if InfoLevel.COMPLETE in levels:
+        return ExposureCategory.COMPLETE
+    has_frequent = InfoLevel.FREQUENT in levels
+    has_dr = InfoLevel.DEAD_RECKONING in levels
+    if has_frequent and has_dr:
+        return ExposureCategory.FREQ_DR
+    if has_frequent:
+        return ExposureCategory.FREQ
+    if has_dr:
+        return ExposureCategory.DR
+    if InfoLevel.INFREQUENT in levels:
+        return ExposureCategory.INFREQ
+    return ExposureCategory.NOTHING
+
+
+def watchmen_observer_level(
+    observer_id: int,
+    subject_id: int,
+    observer_interest: frozenset[int],
+    observer_vision: frozenset[int],
+    proxy_of_subject: int,
+) -> str:
+    """The info level a single Watchmen observer has about a subject.
+
+    Proxy duty dominates ("proxies [have complete information] about the
+    players they are in charge of"); otherwise the observer's IS/VS
+    membership decides, and everyone else gets the infrequent default.
+    """
+    if observer_id == subject_id:
+        raise ValueError("observer and subject must differ")
+    if proxy_of_subject == observer_id:
+        return InfoLevel.COMPLETE
+    if subject_id in observer_interest:
+        return InfoLevel.FREQUENT
+    if subject_id in observer_vision:
+        return InfoLevel.DEAD_RECKONING
+    return InfoLevel.INFREQUENT
+
+
+@dataclass
+class ExposureHistogram:
+    """Counts of honest players per exposure category, averaged over frames."""
+
+    counts: dict[str, float]
+
+    @staticmethod
+    def empty() -> "ExposureHistogram":
+        return ExposureHistogram({c: 0.0 for c in ExposureCategory.ORDER})
+
+    def add(self, category: str, weight: float = 1.0) -> None:
+        if category not in self.counts:
+            raise ValueError(f"unknown category {category!r}")
+        self.counts[category] += weight
+
+    def normalized(self) -> dict[str, float]:
+        """Proportions of honest players per category (sums to 1)."""
+        total = sum(self.counts.values())
+        if total <= 0:
+            return {c: 0.0 for c in ExposureCategory.ORDER}
+        return {c: self.counts[c] / total for c in ExposureCategory.ORDER}
+
+    def scaled(self, factor: float) -> "ExposureHistogram":
+        return ExposureHistogram(
+            {c: v * factor for c, v in self.counts.items()}
+        )
+
+    def merged(self, other: "ExposureHistogram") -> "ExposureHistogram":
+        return ExposureHistogram(
+            {
+                c: self.counts.get(c, 0.0) + other.counts.get(c, 0.0)
+                for c in ExposureCategory.ORDER
+            }
+        )

@@ -1,0 +1,152 @@
+"""Membership management: churn detection and agreed removals.
+
+Section VI ("Churn & NAT"): "updates sent between players also act as a
+heartbeat mechanism that easily identifies the players that have been
+disconnected or left.  These nodes are removed in the next round, through
+an agreement protocol, from the proxy pool."
+
+This module implements that round:
+
+1. **Heartbeat tracking** — every update a node consumes about player X
+   refreshes ``last_heard[X]``; the 1 Hz position updates guarantee every
+   node hears about every live player at least once a second.
+2. **Proposal broadcast** — a node that has heard nothing about X for
+   ``silence_threshold_frames`` broadcasts a signed
+   :class:`RemovalProposal`.
+3. **Quorum** — when a node has seen proposals about X from a majority of
+   the (remaining) roster, the removal is *agreed*; it becomes effective
+   at a deterministic future epoch boundary (``effective_delay_epochs``
+   after the quorum epoch), giving stragglers time to reach the same
+   quorum — proposals propagate within a frame or two, so one epoch of
+   delay suffices — and every honest node swaps to the same reduced
+   :class:`~repro.core.proxy.ProxySchedule` at the same frame.
+
+A malicious minority cannot evict an honest player: proposals are signed,
+counted once per proposer, and a quorum requires a majority — while a
+genuinely departed player is proposed by everyone, because everyone stops
+hearing from him (Watchmen's default position updates are unforgeable
+heartbeats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RemovalProposal", "MembershipView"]
+
+
+@dataclass(frozen=True, slots=True)
+class RemovalProposal:
+    """A signed vote that ``subject_id`` has left the game."""
+
+    sender_id: int
+    subject_id: int
+    frame: int
+    sequence: int
+    signature: object = None  # Signature | None (same envelope as others)
+
+
+@dataclass
+class MembershipView:
+    """One node's view of who is (still) in the game."""
+
+    roster: list[int]
+    silence_threshold_frames: int = 60  # 3 s without any update
+    effective_delay_epochs: int = 1
+    #: Infrastructure (hybrid servers) never publishes avatar updates and
+    #: is exempt from heartbeat-based removal.
+    exempt: frozenset = frozenset()
+    _last_heard: dict[int, int] = field(default_factory=dict)
+    _proposals: dict[int, set[int]] = field(default_factory=dict)  # subject -> proposers
+    _own_proposals: set[int] = field(default_factory=set)
+    _scheduled_removals: dict[int, int] = field(default_factory=dict)  # subject -> epoch
+    removed: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if len(self.roster) < 2:
+            raise ValueError("membership needs at least two players")
+        for player in self.roster:
+            self._last_heard[player] = 0
+
+    # ---- heartbeats --------------------------------------------------------
+
+    def heard_from(self, player_id: int, frame: int) -> None:
+        """Any consumed update about a player refreshes his heartbeat."""
+        if player_id in self._last_heard:
+            self._last_heard[player_id] = max(
+                self._last_heard[player_id], frame
+            )
+
+    def silent_players(self, frame: int, self_id: int) -> list[int]:
+        """Players this node has heard nothing about for too long."""
+        return [
+            player
+            for player, last in self._last_heard.items()
+            if player not in (self_id,)
+            and player not in self.removed
+            and player not in self.exempt
+            and frame - last > self.silence_threshold_frames
+        ]
+
+    # ---- proposals & quorum ---------------------------------------------------
+
+    def should_propose(self, subject_id: int) -> bool:
+        """Propose each departed player at most once."""
+        return (
+            subject_id not in self._own_proposals
+            and subject_id not in self.removed
+        )
+
+    def note_own_proposal(self, subject_id: int) -> None:
+        self._own_proposals.add(subject_id)
+
+    def record_proposal(
+        self, proposer_id: int, subject_id: int, frame: int, epoch: int
+    ) -> bool:
+        """Count a (verified) proposal; True when quorum was just reached."""
+        if subject_id in self.removed or subject_id in self._scheduled_removals:
+            return False
+        if proposer_id not in self.current_roster():
+            return False
+        voters = self._proposals.setdefault(subject_id, set())
+        if proposer_id in voters:
+            return False
+        voters.add(proposer_id)
+        if len(voters) >= self.quorum_size():
+            self._scheduled_removals[subject_id] = (
+                epoch + self.effective_delay_epochs
+            )
+            return True
+        return False
+
+    def quorum_size(self) -> int:
+        """Majority of the players still considered present."""
+        return len(self.current_roster()) // 2 + 1
+
+    def current_roster(self) -> list[int]:
+        return [p for p in self.roster if p not in self.removed]
+
+    # ---- epoch processing ----------------------------------------------------
+
+    def removals_due(self, epoch: int) -> set[int]:
+        """Agreed removals whose effective epoch has arrived."""
+        return {
+            subject
+            for subject, due_epoch in self._scheduled_removals.items()
+            if epoch >= due_epoch
+        }
+
+    def apply_removals(self, epoch: int) -> set[int]:
+        """Apply due removals; returns the set applied (may be empty)."""
+        due = self.removals_due(epoch)
+        for subject in due:
+            self.removed.add(subject)
+            del self._scheduled_removals[subject]
+            self._proposals.pop(subject, None)
+        return due
+
+    def pending_removals(self) -> dict[int, int]:
+        return dict(self._scheduled_removals)
+
+    def proposal_count(self, subject_id: int) -> int:
+        return len(self._proposals.get(subject_id, ()))

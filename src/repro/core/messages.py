@@ -1,0 +1,280 @@
+"""The Watchmen wire-message taxonomy and its size model.
+
+Figure 3's message flows, as Python types.  All player-originated messages
+are signed (``signature`` field) and carry a per-sender sequence number, so
+proxies cannot tamper, replay or spoof ("lightweight digital signatures
+... also prevents replaying and spoofing").
+
+Sizes are modelled in bits, following the paper's numbers (700-bit average
+state updates, 100-bit signatures); :func:`message_size_bits` is the single
+size oracle used by the bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.config import WatchmenConfig
+from repro.core.membership import RemovalProposal
+from repro.crypto.signatures import Signature
+from repro.game.avatar import AvatarSnapshot
+from repro.game.deadreckoning import GuidancePrediction
+from repro.game.vector import Vec3
+
+__all__ = [
+    "ProjectileSpawn",
+    "RemovalProposal",
+    "StateUpdate",
+    "PositionUpdate",
+    "GuidanceMessage",
+    "SubscriptionRequest",
+    "KillClaim",
+    "HandoffSummary",
+    "HandoffMessage",
+    "GameMessage",
+    "signable_bytes",
+    "message_size_bits",
+    "SUB_VISION",
+    "SUB_INTEREST",
+]
+
+SUB_VISION = "VS"
+SUB_INTEREST = "IS"
+
+
+@dataclass(frozen=True, slots=True)
+class StateUpdate:
+    """Frequent full state update (every frame, to IS subscribers).
+
+    ``delta_fields`` names the snapshot fields that changed since the
+    publisher's previous update; when non-empty the wire-size model charges
+    only the delta ("updates ... can be delta-coded").  An empty tuple
+    means a full (keyframe) encoding.
+    """
+
+    sender_id: int
+    frame: int
+    sequence: int
+    snapshot: AvatarSnapshot
+    delta_fields: tuple[str, ...] = ()
+    signature: Signature | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class PositionUpdate:
+    """Infrequent position-only update (1 Hz, to the Others set)."""
+
+    sender_id: int
+    frame: int
+    sequence: int
+    snapshot: AvatarSnapshot  # position_only() form
+    signature: Signature | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class GuidanceMessage:
+    """Dead-reckoning guidance (1 Hz, to VS subscribers)."""
+
+    sender_id: int
+    frame: int
+    sequence: int
+    snapshot: AvatarSnapshot
+    prediction: GuidancePrediction
+    signature: Signature | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SubscriptionRequest:
+    """p subscribes to target (VS or IS class) — routed p → proxy(p) → proxy(target).
+
+    The target itself never sees who subscribed ("players are not informed
+    about subscriptions to them").
+    """
+
+    sender_id: int
+    target_id: int
+    kind: str  # SUB_VISION or SUB_INTEREST
+    frame: int
+    sequence: int
+    signature: Signature | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (SUB_VISION, SUB_INTEREST):
+            raise ValueError(f"unknown subscription kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class KillClaim:
+    """An interaction claim: sender asserts he killed/hit the victim."""
+
+    sender_id: int
+    victim_id: int
+    frame: int
+    sequence: int
+    weapon: str
+    claimed_distance: float
+    signature: Signature | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectileSpawn:
+    """Announcement of a short-lived object the player created.
+
+    "Players are in charge of the short-lived objects they create, in
+    addition to their avatars.  Hence, such objects are checked by proxies
+    and other players as well."  A projectile kill claim must reference a
+    previously announced spawn whose trajectory actually reaches the
+    victim ("checking that ... a rocket was effectively fired").
+    """
+
+    sender_id: int
+    frame: int
+    sequence: int
+    weapon: str
+    origin: "Vec3"
+    velocity: "Vec3"
+    signature: Signature | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffSummary:
+    """One proxy's summary of its client's state over its tenure."""
+
+    player_id: int
+    epoch: int
+    proxy_id: int
+    last_snapshot: AvatarSnapshot | None
+    update_count: int
+    suspicion_flags: int  # count of suspicious ratings the proxy issued
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffMessage:
+    """Old proxy → new proxy at epoch boundaries.
+
+    Carries the subscriber lists (so dissemination continues seamlessly)
+    plus state summaries of up to ``handoff_depth`` previous tenures
+    ("a proxy also embeds the summary it has received from its
+    predecessor").
+    """
+
+    sender_id: int  # the outgoing proxy
+    player_id: int  # whose traffic is being handed off
+    epoch: int  # the epoch that is ending
+    sequence: int
+    interest_subscribers: frozenset[int]
+    vision_subscribers: frozenset[int]
+    summaries: tuple[HandoffSummary, ...] = field(default_factory=tuple)
+    signature: Signature | None = None
+
+
+GameMessage = Union[
+    StateUpdate,
+    PositionUpdate,
+    GuidanceMessage,
+    SubscriptionRequest,
+    KillClaim,
+    ProjectileSpawn,
+    HandoffMessage,
+    RemovalProposal,
+]
+
+
+def signable_bytes(message: GameMessage) -> bytes:
+    """A canonical byte encoding of a message (without its signature).
+
+    Used both to sign and to verify; any field change (a tampering proxy)
+    changes these bytes and invalidates the signature.
+    """
+    def encode(value: object) -> object:
+        if isinstance(value, AvatarSnapshot):
+            return {
+                "p": value.player_id,
+                "f": value.frame,
+                "pos": value.position.to_tuple(),
+                "vel": value.velocity.to_tuple(),
+                "yaw": round(value.yaw, 6),
+                "hp": value.health,
+                "ar": value.armor,
+                "w": value.weapon,
+                "am": value.ammo,
+                "al": value.alive,
+            }
+        if isinstance(value, GuidancePrediction):
+            return {
+                "f": value.frame,
+                "o": value.origin.to_tuple(),
+                "v": value.velocity.to_tuple(),
+                "yaw": round(value.yaw, 6),
+                "h": value.horizon_frames,
+            }
+        if isinstance(value, HandoffSummary):
+            return {
+                "p": value.player_id,
+                "e": value.epoch,
+                "x": value.proxy_id,
+                "s": encode(value.last_snapshot) if value.last_snapshot else None,
+                "n": value.update_count,
+                "flags": value.suspicion_flags,
+            }
+        if isinstance(value, Vec3):
+            return value.to_tuple()
+        if isinstance(value, frozenset):
+            return sorted(value)
+        if isinstance(value, tuple):
+            return [encode(v) for v in value]
+        return value
+
+    payload = {
+        "type": type(message).__name__,
+        **{
+            name: encode(getattr(message, name))
+            for name in message.__dataclass_fields__  # type: ignore[attr-defined]
+            if name != "signature"
+        },
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def message_size_bits(message: GameMessage, config: WatchmenConfig) -> int:
+    """Nominal wire size of a message, per the paper's size model."""
+    if isinstance(message, StateUpdate):
+        if message.delta_fields:
+            body = config.delta_base_bits + sum(
+                config.delta_field_bits.get(name, 32)
+                for name in message.delta_fields
+            )
+            body = min(body, config.state_update_bits)
+        else:
+            body = config.state_update_bits
+    elif isinstance(message, PositionUpdate):
+        body = config.position_update_bits
+    elif isinstance(message, GuidanceMessage):
+        body = config.guidance_bits
+    elif isinstance(message, SubscriptionRequest):
+        body = config.subscription_bits
+    elif isinstance(message, KillClaim):
+        body = config.subscription_bits  # comparable small claim record
+    elif isinstance(message, RemovalProposal):
+        body = config.subscription_bits  # tiny signed vote
+    elif isinstance(message, ProjectileSpawn):
+        body = config.position_update_bits  # origin + velocity + weapon
+    elif isinstance(message, HandoffMessage):
+        entries = (
+            1
+            + len(message.interest_subscribers)
+            + len(message.vision_subscribers)
+            + len(message.summaries)
+        )
+        body = config.handoff_bits_per_entry * entries
+    else:
+        raise TypeError(f"unknown message type {type(message).__name__}")
+    signed = config.signature_bits if message.signature is not None else 0
+    return config.header_bits + body + signed
+
+
+def message_size_bytes(message: GameMessage, config: WatchmenConfig) -> int:
+    """Size in whole bytes (what the transport charges)."""
+    return (message_size_bits(message, config) + 7) // 8

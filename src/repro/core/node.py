@@ -1,0 +1,1157 @@
+"""WatchmenNode: the per-player protocol state machine.
+
+One node plays all three roles of Figure 3 at once:
+
+- **publisher** — each frame it pushes its (signed) state to its current
+  proxy: frequent state updates every frame, guidance and position-only
+  updates once per second, kill claims when its avatar scores;
+- **proxy** — for each client assigned to it by the verifiable schedule it
+  keeps the subscriber table, verifies the client's updates/subscriptions/
+  claims (proxy-grade confidence), forwards updates to the right audience,
+  and hands everything off to the next proxy at epoch boundaries;
+- **subscriber/witness** — it maintains a local view of the other avatars
+  from received updates, subscribes according to its interest sets, and
+  verifies whatever it can see (IS/VS/other-grade confidence).
+
+Nodes never mutate each other; all communication goes through the
+datagram transport.  Cheats plug in as a :class:`NodeBehaviour` that may
+rewrite, drop, duplicate or fabricate a node's outgoing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Callable, Protocol
+
+from repro.core.config import WatchmenConfig
+from repro.core.membership import MembershipView
+from repro.core.messages import (
+    SUB_INTEREST,
+    SUB_VISION,
+    GameMessage,
+    GuidanceMessage,
+    HandoffMessage,
+    HandoffSummary,
+    KillClaim,
+    PositionUpdate,
+    ProjectileSpawn,
+    RemovalProposal,
+    StateUpdate,
+    SubscriptionRequest,
+    message_size_bytes,
+    signable_bytes,
+)
+from repro.core.proxy import ProxySchedule
+from repro.core.subscriptions import SubscriberTable, SubscriptionPlanner
+from repro.core.verification import (
+    AimVerifier,
+    CheatRating,
+    CheckKind,
+    Confidence,
+    GuidanceVerifier,
+    KillVerifier,
+    PositionVerifier,
+    ProjectileTracker,
+    RateVerifier,
+    SubscriptionVerifier,
+)
+from repro.game.avatar import AvatarSnapshot, snapshot_delta_fields
+from repro.game.deadreckoning import predict_linear
+from repro.game.gamemap import GameMap
+from repro.game.interest import InteractionRecency
+from repro.game.physics import Physics
+
+__all__ = ["NodeBehaviour", "HonestBehaviour", "WatchmenNode", "NodeMetrics"]
+
+
+class NodeBehaviour(Protocol):
+    """The cheat-injection surface: hooks on a node's externally visible acts.
+
+    Honest nodes use :class:`HonestBehaviour` (identity hooks).  Cheats
+    override some hooks; see :mod:`repro.cheats`.
+    """
+
+    def mutate_snapshot(
+        self, frame: int, snapshot: AvatarSnapshot
+    ) -> AvatarSnapshot: ...
+
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]: ...
+
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]: ...
+
+
+class HonestBehaviour:
+    """Identity hooks: play exactly by the protocol."""
+
+    def mutate_snapshot(self, frame: int, snapshot: AvatarSnapshot) -> AvatarSnapshot:
+        del frame
+        return snapshot
+
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
+        del frame
+        return [(message, destination)]
+
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
+        del frame
+        return []
+
+
+@dataclass
+class NodeMetrics:
+    """Everything a node measures locally."""
+
+    update_ages: list[tuple[str, int]] = field(default_factory=list)  # (kind, frames)
+    ratings: list[CheatRating] = field(default_factory=list)
+    signature_failures: int = 0
+    replayed_messages: int = 0
+    direct_update_violations: int = 0
+    forwarded_messages: int = 0
+
+    def ages_of(self, kind: str | None = None) -> list[int]:
+        return [age for k, age in self.update_ages if kind is None or k == kind]
+
+
+@dataclass
+class _ClientState:
+    """Proxy-side state for one client."""
+
+    table: SubscriberTable
+    rate: RateVerifier
+    last_snapshot: AvatarSnapshot | None = None
+    update_count: int = 0
+    suspicion_flags: int = 0
+    predecessor_summaries: tuple[HandoffSummary, ...] = ()
+    #: Recent per-frame snapshots, so subscriptions are verified against
+    #: the client's pose *when he planned them*, not his freshest one.
+    history: dict[int, AvatarSnapshot] = field(default_factory=dict)
+
+    def remember(self, snapshot: AvatarSnapshot, keep: int = 32) -> None:
+        self.history[snapshot.frame] = snapshot
+        if len(self.history) > keep:
+            for frame in sorted(self.history)[: len(self.history) - keep]:
+                del self.history[frame]
+
+    def snapshot_near(self, frame: int, window: int = 4):
+        """The stored snapshot closest to ``frame`` within ``window``."""
+        best = None
+        best_gap = window + 1
+        for stored_frame, snapshot in self.history.items():
+            gap = abs(stored_frame - frame)
+            if gap < best_gap:
+                best, best_gap = snapshot, gap
+        return best
+
+
+class WatchmenNode:
+    """One player's full protocol endpoint."""
+
+    def __init__(
+        self,
+        player_id: int,
+        roster: list[int],
+        game_map: GameMap,
+        config: WatchmenConfig,
+        schedule: ProxySchedule,
+        signer,
+        send: Callable[[int, int, GameMessage, int], bool],
+        behaviour: NodeBehaviour | None = None,
+        rating_sink: Callable[[CheatRating], None] | None = None,
+        is_server: bool = False,
+    ):
+        self.player_id = player_id
+        #: Hybrid-architecture servers proxy and verify but never publish
+        #: an avatar of their own (Section VI "Hybrid architecture").
+        self.is_server = is_server
+        self.roster = sorted(roster)
+        self.game_map = game_map
+        self.config = config
+        self.schedule = schedule
+        self.signer = signer
+        self._send_raw = send
+        self.behaviour: NodeBehaviour = behaviour or HonestBehaviour()
+        self._rating_sink = rating_sink
+        self.metrics = NodeMetrics()
+
+        physics = Physics(game_map)
+        self.action_repetition_verifier = None
+        if config.action_repetition:
+            from repro.core.action_repetition import ActionRepetitionVerifier
+
+            self.action_repetition_verifier = ActionRepetitionVerifier(physics)
+        self.recency = InteractionRecency()
+        self.planner = SubscriptionPlanner(player_id, game_map, config, self.recency)
+        self.position_verifier = PositionVerifier(physics)
+        self.aim_verifier = AimVerifier(
+            max_turn_rate=physics.config.max_turn_rate,
+            frame_seconds=config.frame_seconds,
+        )
+        self.guidance_verifier = GuidanceVerifier(
+            config.frame_seconds,
+            check_horizon_frames=config.guidance_check_frames,
+        )
+        self.projectiles = ProjectileTracker()
+        self.kill_verifier = KillVerifier(game_map, projectiles=self.projectiles)
+        self.subscription_verifier = SubscriptionVerifier(game_map, config.interest)
+
+        self.membership = MembershipView(list(self.roster))
+        self.known: dict[int, AvatarSnapshot] = {}
+        #: Optional oracle over the player's *own* upcoming movement
+        #: (his input intentions).  The paper's guidance messages carry
+        #: "AI guidance instructions that enable the player to simulate the
+        #: avatar's near-future actions" — in trace replay the publisher's
+        #: intent is his recorded future.  Set by the session.
+        self.own_future = None  # frame -> AvatarSnapshot | None
+        self.current_frame = 0
+        self.current_sets = None  # latest PlannedSubscriptions
+        self._sequence = 0
+        self._seen_sequences: dict[int, set[int]] = {}
+        self._clients: dict[int, _ClientState] = {}
+        self._pending_kills: list[KillClaim] = []
+        self._pending_projectiles: list[ProjectileSpawn] = []
+        #: Projectile kill claims wait a few frames before judgement so the
+        #: corresponding spawn announcement can arrive (a posteriori check).
+        self._deferred_claims: list[tuple[int, KillClaim, float]] = []
+        self._last_published: AvatarSnapshot | None = None
+
+    # ------------------------------------------------------------------
+    # Frame driving (called by the session)
+    # ------------------------------------------------------------------
+
+    def on_frame(
+        self, frame: int, own_snapshot: AvatarSnapshot | None = None
+    ) -> None:
+        """Run one frame of publisher + proxy duties.
+
+        Servers (``is_server``) pass no snapshot and perform only the
+        proxy/verification half.
+        """
+        self.current_frame = frame
+        epoch = self.config.epoch_of_frame(frame)
+
+        # Agreed departures take effect at epoch boundaries ("removed in
+        # the next round ... from the proxy pool").
+        if frame % self.config.proxy_period_frames == 0:
+            applied = self.membership.apply_removals(epoch)
+            if applied:
+                self._apply_roster_removals(applied)
+
+        # Handoffs first so the new proxies are live for this epoch.
+        if frame > 0 and frame % self.config.proxy_period_frames == 0:
+            self._perform_handoffs(frame, epoch)
+        if frame % self.config.proxy_period_frames == 0:
+            self._register_epoch_clients(epoch)
+
+        # -- publisher duties (players only) -----------------------------------
+        if own_snapshot is not None and not self.is_server:
+            own_snapshot = self.behaviour.mutate_snapshot(frame, own_snapshot)
+            self.known[self.player_id] = own_snapshot
+            my_proxy = self.schedule.proxy_of(self.player_id, epoch)
+            self._publish_updates(frame, own_snapshot, my_proxy)
+            self._publish_subscriptions(frame, own_snapshot, my_proxy)
+            self._publish_kill_claims(frame, my_proxy)
+
+        # -- deferred projectile-kill judgements -------------------------------
+        due = [c for c in self._deferred_claims if c[0] <= frame]
+        if due:
+            self._deferred_claims = [
+                c for c in self._deferred_claims if c[0] > frame
+            ]
+            for _, claim, confidence in due:
+                self._judge_kill_claim_now(claim, confidence)
+
+        # -- churn detection (heartbeats; Section VI) -------------------------
+        self._propose_departures(frame, epoch)
+
+        # -- proxy duties ----------------------------------------------------
+        self._poll_client_silence(frame)
+        for state in self._clients.values():
+            state.table.expire(frame)
+
+        # -- behaviour extras (fabricated traffic from cheats) ---------------
+        # Extras bypass filter_outgoing: they are already the behaviour's
+        # final word (a delay cheat would otherwise re-capture them).
+        for message, destination in self.behaviour.extra_messages(frame):
+            self._transmit_unfiltered(message, destination)
+
+    def estimate_of(self, other_id: int, frame: int) -> AvatarSnapshot | None:
+        """What this node would *render* for another avatar at ``frame``.
+
+        Games display remote avatars by dead-reckoning the freshest
+        information: the last received snapshot extrapolated along its
+        velocity (bounded by the guidance horizon).  The gap between this
+        estimate and the avatar's true state is the paper's notion of lag
+        ("the difference between the game's state at the player and the
+        actual state").
+        """
+        snapshot = self.known.get(other_id)
+        if snapshot is None:
+            return None
+        ahead = min(
+            max(0, frame - snapshot.frame), self.config.guidance_horizon_frames
+        )
+        if ahead == 0 or not snapshot.alive:
+            return snapshot
+        extrapolated = snapshot.position + snapshot.velocity * (
+            ahead * self.config.frame_seconds
+        )
+        return dataclass_replace(snapshot, frame=frame, position=extrapolated)
+
+    def announce_projectile(
+        self, frame: int, weapon: str, origin, velocity
+    ) -> None:
+        """Queue the announcement of a short-lived object we created."""
+        self._pending_projectiles.append(
+            ProjectileSpawn(
+                sender_id=self.player_id,
+                frame=frame,
+                sequence=0,  # assigned at send time
+                weapon=weapon,
+                origin=origin,
+                velocity=velocity,
+            )
+        )
+        # Our own verifiers also remember our announcements (self-view).
+        self.projectiles.record(self.player_id, frame, weapon, origin, velocity)
+
+    def claim_kill(self, frame: int, victim_id: int, weapon: str, distance: float) -> None:
+        """Queue a kill claim for publication this frame (from the game)."""
+        self._pending_kills.append(
+            KillClaim(
+                sender_id=self.player_id,
+                victim_id=victim_id,
+                frame=frame,
+                sequence=0,  # assigned at send time
+                weapon=weapon,
+                claimed_distance=distance,
+            )
+        )
+        self.recency.record(self.player_id, victim_id, frame)
+
+    def note_interaction(self, other_id: int, frame: int) -> None:
+        """Record an interaction (being shot at) for the attention metric."""
+        self.recency.record(self.player_id, other_id, frame)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def _publish_updates(
+        self, frame: int, snapshot: AvatarSnapshot, my_proxy: int
+    ) -> None:
+        cfg = self.config
+        if frame % cfg.frequent_interval_frames == 0:
+            # Delta-code against the previous update; send a keyframe once
+            # per second so late receivers resynchronise.
+            if self._last_published is None or frame % 20 == 0:
+                delta: tuple[str, ...] = ()
+            else:
+                delta = tuple(
+                    snapshot_delta_fields(self._last_published, snapshot)
+                ) or ("yaw",)  # a heartbeat-sized minimal delta
+            update = StateUpdate(
+                sender_id=self.player_id,
+                frame=frame,
+                sequence=self._next_sequence(),
+                snapshot=snapshot,
+                delta_fields=delta,
+            )
+            self._last_published = snapshot
+            self._route_publication(update, my_proxy)
+        if frame % cfg.guidance_interval_frames == 0:
+            guidance = GuidanceMessage(
+                sender_id=self.player_id,
+                frame=frame,
+                sequence=self._next_sequence(),
+                snapshot=snapshot,
+                prediction=self._guidance_prediction(frame, snapshot),
+            )
+            self._route_publication(guidance, my_proxy)
+        if frame % cfg.position_interval_frames == 0:
+            position = PositionUpdate(
+                sender_id=self.player_id,
+                frame=frame,
+                sequence=self._next_sequence(),
+                snapshot=snapshot.position_only(),
+            )
+            self._route_publication(position, my_proxy)
+
+    def _guidance_prediction(self, frame: int, snapshot: AvatarSnapshot):
+        """Intent-informed dead reckoning for one's own avatar.
+
+        When the player's upcoming inputs are known (``own_future``), the
+        predicted velocity is the mean velocity over the prediction
+        horizon — the paper's AI-guidance-enhanced dead reckoning [16].
+        Otherwise fall back to first-order (current velocity).
+        """
+        horizon = self.config.guidance_horizon_frames
+        window = self.config.guidance_check_frames
+        if self.own_future is not None:
+            ahead = self.own_future(frame + window)
+            if ahead is not None and ahead.alive and snapshot.alive:
+                dt = self.config.frame_seconds * window
+                velocity = (ahead.position - snapshot.position) / dt
+                from repro.game.deadreckoning import GuidancePrediction
+
+                return GuidancePrediction(
+                    frame=frame,
+                    origin=snapshot.position,
+                    velocity=velocity,
+                    yaw=snapshot.yaw,
+                    horizon_frames=horizon,
+                )
+        return predict_linear(snapshot, horizon)
+
+    def _route_publication(self, message: GameMessage, my_proxy: int) -> None:
+        """First hop of Figure 3: everything goes through the proxy.
+
+        With ``relax_first_hop`` (Section VI, optimization 3) updates go
+        straight to the audience, with a concurrent copy to the proxy for
+        verification.
+        """
+        if not self.config.relax_first_hop or isinstance(
+            message, SubscriptionRequest
+        ):
+            self._transmit(message, my_proxy)
+            return
+        audience = self._direct_audience(message)
+        for destination in audience:
+            self._transmit(message, destination)
+        self._transmit(message, my_proxy)  # concurrent verification copy
+
+    def _direct_audience(self, message: GameMessage) -> list[int]:
+        """Relaxed-mode audience; mirrors the proxy's forwarding rules.
+
+        The node only knows its audience through what its proxy told it at
+        the latest handoff; we approximate with its own subscriber table if
+        it happens to be its own proxy's client record, falling back to the
+        symmetric heuristic (players whose IS/VS I am likely in cannot be
+        computed locally), so relaxed mode broadcasts frequent updates to
+        players that have *me* in their planned sets — which the session
+        wires through the shared subscriber oracle.
+        """
+        oracle = getattr(self, "audience_oracle", None)
+        if oracle is None:
+            return []
+        return oracle(self.player_id, message)
+
+    def _publish_subscriptions(
+        self, frame: int, snapshot: AvatarSnapshot, my_proxy: int
+    ) -> None:
+        plan = self.planner.plan(frame, snapshot, self.known)
+        self.current_sets = plan
+        for target in sorted(plan.new_interest):
+            request = SubscriptionRequest(
+                sender_id=self.player_id,
+                target_id=target,
+                kind=SUB_INTEREST,
+                frame=frame,
+                sequence=self._next_sequence(),
+            )
+            self._transmit(request, my_proxy)
+        for target in sorted(plan.new_vision):
+            request = SubscriptionRequest(
+                sender_id=self.player_id,
+                target_id=target,
+                kind=SUB_VISION,
+                frame=frame,
+                sequence=self._next_sequence(),
+            )
+            self._transmit(request, my_proxy)
+
+    def _publish_kill_claims(self, frame: int, my_proxy: int) -> None:
+        for spawn in self._pending_projectiles:
+            stamped = ProjectileSpawn(
+                sender_id=spawn.sender_id,
+                frame=spawn.frame,
+                sequence=self._next_sequence(),
+                weapon=spawn.weapon,
+                origin=spawn.origin,
+                velocity=spawn.velocity,
+            )
+            self._transmit(stamped, my_proxy)
+        self._pending_projectiles.clear()
+        for claim in self._pending_kills:
+            stamped = KillClaim(
+                sender_id=claim.sender_id,
+                victim_id=claim.victim_id,
+                frame=claim.frame,
+                sequence=self._next_sequence(),
+                weapon=claim.weapon,
+                claimed_distance=claim.claimed_distance,
+            )
+            self._transmit(stamped, my_proxy)
+        self._pending_kills.clear()
+
+    # ------------------------------------------------------------------
+    # Proxy duties
+    # ------------------------------------------------------------------
+
+    def _perform_handoffs(self, frame: int, new_epoch: int) -> None:
+        """End-of-tenure: ship each client's state to its next proxy."""
+        for client_id in list(self._clients):
+            new_proxy = self.schedule.proxy_of(client_id, new_epoch)
+            if new_proxy == self.player_id:
+                continue  # re-elected; keep serving
+            was_proxy = (
+                self.schedule.proxy_of(client_id, new_epoch - 1) == self.player_id
+            )
+            if not was_proxy:
+                # Ghost entry from grace-period traffic; only the real
+                # outgoing proxy performs the handoff.
+                del self._clients[client_id]
+                continue
+            state = self._clients.pop(client_id)
+            interest, vision = state.table.export_sets(frame)
+            my_summary = HandoffSummary(
+                player_id=client_id,
+                epoch=new_epoch - 1,
+                proxy_id=self.player_id,
+                last_snapshot=state.last_snapshot,
+                update_count=state.update_count,
+                suspicion_flags=state.suspicion_flags,
+            )
+            depth = self.config.handoff_depth
+            summaries = (my_summary,) + state.predecessor_summaries[: depth - 1]
+            handoff = HandoffMessage(
+                sender_id=self.player_id,
+                player_id=client_id,
+                epoch=new_epoch - 1,
+                sequence=self._next_sequence(),
+                interest_subscribers=interest,
+                vision_subscribers=vision,
+                summaries=summaries,
+            )
+            self._transmit(handoff, new_proxy)
+
+    def _register_epoch_clients(self, epoch: int) -> None:
+        """Create state for every client the schedule assigns us this epoch.
+
+        The schedule is known to everyone, so a proxy watches its clients
+        from the epoch's first frame — a client that never sends anything
+        (escaping) is caught by the silence poll, not ignored.
+        """
+        for client_id in self.schedule.clients_of(self.player_id, epoch):
+            if client_id != self.player_id:
+                self._client_state(client_id)
+
+    def _apply_roster_removals(self, removed: set[int]) -> None:
+        """Swap to the reduced schedule every honest node derives alike."""
+        self.roster = [p for p in self.roster if p not in removed]
+        self.schedule = self.schedule.without_players(removed)
+        for player in removed:
+            self._clients.pop(player, None)
+            self.known.pop(player, None)
+
+    def _propose_departures(self, frame: int, epoch: int) -> None:
+        """Broadcast signed removal proposals for long-silent players."""
+        for subject in self.membership.silent_players(frame, self.player_id):
+            if not self.membership.should_propose(subject):
+                continue
+            self.membership.note_own_proposal(subject)
+            proposal = RemovalProposal(
+                sender_id=self.player_id,
+                subject_id=subject,
+                frame=frame,
+                sequence=self._next_sequence(),
+            )
+            # Count our own vote, then broadcast to the current roster.
+            self.membership.record_proposal(
+                self.player_id, subject, frame, epoch
+            )
+            for destination in self.membership.current_roster():
+                if destination not in (self.player_id, subject):
+                    self._transmit(proposal, destination)
+
+    def _on_removal_proposal(self, message: RemovalProposal) -> None:
+        epoch = self.config.epoch_of_frame(self.current_frame)
+        self.membership.record_proposal(
+            message.sender_id,
+            message.subject_id,
+            self.current_frame,
+            epoch,
+        )
+
+    def _client_state(self, client_id: int) -> _ClientState:
+        state = self._clients.get(client_id)
+        if state is None:
+            state = _ClientState(
+                table=SubscriberTable(
+                    client_id=client_id,
+                    retention_frames=self.config.subscription_retention_frames,
+                ),
+                rate=RateVerifier(
+                    expected_interval_frames=self.config.frequent_interval_frames
+                ),
+            )
+            self._clients[client_id] = state
+        return state
+
+    def _poll_client_silence(self, frame: int) -> None:
+        epoch_start = (
+            self.config.epoch_of_frame(frame) * self.config.proxy_period_frames
+        )
+        for client_id, state in self._clients.items():
+            if not self._is_proxy_of(client_id):
+                continue  # grace-period ghost; the new proxy watches now
+            rating = state.rate.check_silence(
+                self.player_id,
+                client_id,
+                frame,
+                Confidence.PROXY,
+                not_before_frame=epoch_start,
+            )
+            if rating is None:
+                # Dead air since we took over: a client that sent nothing
+                # at all this tenure is escaping (or unreachable).
+                last = state.rate.last_arrival_wallclock(client_id)
+                silent_for = frame - max(
+                    epoch_start, last if last is not None else -(10**9)
+                )
+                grace = 16  # handoff + first-hop latency
+                if last is None and frame > 0 and silent_for > grace:
+                    rating = CheatRating(
+                        verifier_id=self.player_id,
+                        subject_id=client_id,
+                        frame=frame,
+                        check=CheckKind.RATE,
+                        rating=min(10.0, 5.0 + 0.2 * (silent_for - grace)),
+                        confidence=Confidence.PROXY,
+                        deviation=float(silent_for),
+                        detail=f"no traffic at all for {silent_for} frames (escaping?)",
+                    )
+            if rating is not None:
+                self._emit_rating(rating)
+                state.suspicion_flags += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+
+    def on_message(self, src: int, message: GameMessage) -> None:
+        """Entry point for every delivered datagram payload."""
+        observe = getattr(self.behaviour, "observe_incoming", None)
+        if observe is not None:
+            observe(self.current_frame, src, message)
+        if not self._verify_envelope(message):
+            return
+        if isinstance(message, StateUpdate):
+            self._on_state_update(src, message)
+        elif isinstance(message, GuidanceMessage):
+            self._on_guidance(src, message)
+        elif isinstance(message, PositionUpdate):
+            self._on_position_update(src, message)
+        elif isinstance(message, SubscriptionRequest):
+            self._on_subscription(src, message)
+        elif isinstance(message, KillClaim):
+            self._on_kill_claim(src, message)
+        elif isinstance(message, ProjectileSpawn):
+            self._on_projectile_spawn(src, message)
+        elif isinstance(message, HandoffMessage):
+            self._on_handoff(message)
+        elif isinstance(message, RemovalProposal):
+            self._on_removal_proposal(message)
+
+    def _verify_envelope(self, message: GameMessage) -> bool:
+        """Signature + replay screening on every received message."""
+        if message.signature is None or not self.signer.verify(
+            message.sender_id, signable_bytes(message), message.signature
+        ):
+            self.metrics.signature_failures += 1
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=message.sender_id,
+                    frame=self.current_frame,
+                    check=CheckKind.RATE,
+                    rating=10.0,
+                    confidence=Confidence.PROXY,
+                    deviation=1.0,
+                    detail="invalid or missing signature",
+                )
+            )
+            return False
+        seen = self._seen_sequences.setdefault(message.sender_id, set())
+        if message.sequence in seen:
+            self.metrics.replayed_messages += 1
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=message.sender_id,
+                    frame=self.current_frame,
+                    check=CheckKind.RATE,
+                    rating=10.0,
+                    confidence=Confidence.PROXY,
+                    deviation=1.0,
+                    detail=f"replayed sequence {message.sequence}",
+                )
+            )
+            return False
+        seen.add(message.sequence)
+        if len(seen) > 4096:  # bounded memory; old sequences cannot return
+            self._seen_sequences[message.sender_id] = set(
+                sorted(seen)[-2048:]
+            )
+        return True
+
+    # -- state updates ----------------------------------------------------
+
+    def _on_state_update(self, src: int, update: StateUpdate) -> None:
+        sender = update.sender_id
+        if sender == self.player_id:
+            return
+        i_am_proxy = self._accepts_first_hop_from(sender)
+        if src == sender:
+            # First hop: only legitimate when I am the proxy (or relaxed mode).
+            if i_am_proxy:
+                self._proxy_ingest_update(update)
+                return
+            if not self.config.relax_first_hop:
+                # Direct send around the proxy: consistency-cheat attempt.
+                self.metrics.direct_update_violations += 1
+                self._emit_rating(
+                    CheatRating(
+                        verifier_id=self.player_id,
+                        subject_id=sender,
+                        frame=self.current_frame,
+                        check=CheckKind.RATE,
+                        rating=9.0,
+                        confidence=Confidence.PROXY,
+                        deviation=1.0,
+                        detail="direct state update bypassing proxy",
+                    )
+                )
+                return
+        self._consume_state_update(update)
+
+    def _proxy_ingest_update(self, update: StateUpdate) -> None:
+        """Proxy side: verify the client's update and fan it out."""
+        sender = update.sender_id
+        self.membership.heard_from(sender, self.current_frame)
+        state = self._client_state(sender)
+        state.update_count += 1
+
+        for rating in state.rate.observe(
+            self.player_id, sender, update.frame, self.current_frame, Confidence.PROXY
+        ):
+            self._emit_rating(rating)
+            state.suspicion_flags += 1
+        position_rating = self.position_verifier.observe(
+            self.player_id, update.snapshot, Confidence.PROXY
+        )
+        if position_rating is not None:
+            self._emit_rating(position_rating)
+            if position_rating.suspicious:
+                state.suspicion_flags += 1
+        aim_rating = self.aim_verifier.observe(
+            self.player_id, update.snapshot, Confidence.PROXY
+        )
+        if aim_rating is not None:
+            self._emit_rating(aim_rating)
+            if aim_rating.suspicious:
+                state.suspicion_flags += 1
+        if self.action_repetition_verifier is not None:
+            replay_rating = self.action_repetition_verifier.observe(
+                self.player_id, update.snapshot, Confidence.PROXY
+            )
+            if replay_rating is not None and replay_rating.suspicious:
+                self._emit_rating(replay_rating)
+                state.suspicion_flags += 1
+        guidance_rating = self.guidance_verifier.observe_position(
+            self.player_id, update.snapshot, Confidence.PROXY, calibrate=True
+        )
+        if guidance_rating is not None:
+            self._emit_rating(guidance_rating)
+
+        state.last_snapshot = update.snapshot
+        state.remember(update.snapshot)
+        self.known[sender] = update.snapshot
+
+        if self.config.relax_first_hop:
+            return  # publisher already sent directly; we only verified
+        for subscriber in state.table.interest_subscribers(self.current_frame):
+            if subscriber not in (sender, self.player_id):
+                self._transmit(update, subscriber)
+                self.metrics.forwarded_messages += 1
+
+    def _consume_state_update(self, update: StateUpdate) -> None:
+        """Subscriber side: measure age, refresh view, verify."""
+        sender = update.sender_id
+        self.membership.heard_from(sender, self.current_frame)
+        self._record_age("state", update.frame)
+        previous = self.known.get(sender)
+        if previous is None or previous.frame <= update.frame:
+            self.known[sender] = update.snapshot
+        confidence = self._confidence_about(sender)
+        rating = self.position_verifier.observe(
+            self.player_id, update.snapshot, confidence
+        )
+        if rating is not None:
+            self._emit_rating(rating)
+        aim_rating = self.aim_verifier.observe(
+            self.player_id, update.snapshot, confidence
+        )
+        if aim_rating is not None:
+            self._emit_rating(aim_rating)
+        guidance_rating = self.guidance_verifier.observe_position(
+            self.player_id, update.snapshot, confidence, calibrate=True
+        )
+        if guidance_rating is not None:
+            self._emit_rating(guidance_rating)
+
+    # -- guidance ------------------------------------------------------------
+
+    def _on_guidance(self, src: int, message: GuidanceMessage) -> None:
+        sender = message.sender_id
+        if sender == self.player_id:
+            return
+        if src == sender and self._accepts_first_hop_from(sender):
+            state = self._client_state(sender)
+            state.last_snapshot = message.snapshot
+            self.known[sender] = message.snapshot
+            self.guidance_verifier.observe_guidance(sender, message.prediction)
+            if self.config.relax_first_hop:
+                return
+            for subscriber in state.table.vision_subscribers(self.current_frame):
+                if subscriber not in (sender, self.player_id):
+                    self._transmit(message, subscriber)
+                    self.metrics.forwarded_messages += 1
+            return
+        self.membership.heard_from(sender, self.current_frame)
+        self._record_age("guidance", message.frame)
+        previous = self.known.get(sender)
+        if previous is None or previous.frame <= message.frame:
+            self.known[sender] = message.snapshot
+        self.guidance_verifier.observe_guidance(sender, message.prediction)
+
+    # -- infrequent position updates ---------------------------------------
+
+    def _on_position_update(self, src: int, message: PositionUpdate) -> None:
+        sender = message.sender_id
+        if sender == self.player_id:
+            return
+        if src == sender and self._accepts_first_hop_from(sender):
+            state = self._client_state(sender)
+            audience = self._others_audience(sender, state)
+            for destination in audience:
+                self._transmit(message, destination)
+                self.metrics.forwarded_messages += 1
+            return
+        self.membership.heard_from(sender, self.current_frame)
+        self._record_age("position", message.frame)
+        previous = self.known.get(sender)
+        if previous is None:
+            self.known[sender] = message.snapshot
+        elif previous.frame <= message.frame:
+            # Merge: position updates carry only identity/position — keep
+            # the richer fields from whatever we knew before.
+            self.known[sender] = dataclass_replace(
+                previous,
+                frame=message.frame,
+                position=message.snapshot.position,
+                alive=message.snapshot.alive,
+            )
+        rating = self.position_verifier.observe(
+            self.player_id, message.snapshot, self._confidence_about(sender)
+        )
+        if rating is not None:
+            self._emit_rating(rating)
+        guidance_rating = self.guidance_verifier.observe_position(
+            self.player_id,
+            message.snapshot,
+            self._confidence_about(sender),
+            calibrate=True,
+        )
+        if guidance_rating is not None:
+            self._emit_rating(guidance_rating)
+
+    def _others_audience(self, sender: int, state: _ClientState) -> list[int]:
+        """Everyone outside the sender's IS/VS subscriber lists.
+
+        "any player outside the VS and IS belongs to the others set ...
+        this subscription type is assigned by default".
+        """
+        interest = state.table.interest_subscribers(self.current_frame)
+        vision = state.table.vision_subscribers(self.current_frame)
+        return [
+            player
+            for player in self.roster
+            if player not in (sender, self.player_id)
+            and player not in interest
+            and player not in vision
+        ]
+
+    # -- subscriptions ----------------------------------------------------------
+
+    def _on_subscription(self, src: int, request: SubscriptionRequest) -> None:
+        sender = request.sender_id
+        if request.target_id == sender:
+            return
+        if src == sender:
+            # Stage 1: I should be the sender's proxy — verify, then relay.
+            if not self._accepts_first_hop_from(sender):
+                return
+            self._verify_subscription(request)
+            target_proxy = self.schedule.proxy_of(
+                request.target_id, self.config.epoch_of_frame(self.current_frame)
+            )
+            if target_proxy == self.player_id:
+                self._register_subscription(request)
+            else:
+                self._transmit(request, target_proxy)
+                self.metrics.forwarded_messages += 1
+            return
+        # Stage 2: I should be the target's proxy — record the subscriber.
+        if self._is_proxy_of(request.target_id):
+            self._register_subscription(request)
+
+    def _verify_subscription(self, request: SubscriptionRequest) -> None:
+        # Judge against the subscriber's pose at (or just after) the frame
+        # he planned the subscription — he may have spun away since, and
+        # honest subscriptions must not be convicted for that.
+        state = self._clients.get(request.sender_id)
+        subscriber = None
+        if state is not None:
+            subscriber = state.snapshot_near(request.frame + 1)
+        if subscriber is None:
+            subscriber = self.known.get(request.sender_id)
+        target = self.known.get(request.target_id)
+        if subscriber is None or target is None:
+            return
+        if request.kind == SUB_INTEREST:
+            rating = self.subscription_verifier.verify_interest_subscription(
+                self.player_id,
+                request.frame,
+                subscriber,
+                target,
+                self.known,
+                Confidence.PROXY,
+            )
+        else:
+            rating = self.subscription_verifier.verify_vision_subscription(
+                self.player_id, request.frame, subscriber, target, Confidence.PROXY
+            )
+        self._emit_rating(rating)
+        if rating.suspicious:
+            self._client_state(request.sender_id).suspicion_flags += 1
+
+    def _register_subscription(self, request: SubscriptionRequest) -> None:
+        state = self._client_state(request.target_id)
+        if request.kind == SUB_INTEREST:
+            state.table.add_interest(request.sender_id, self.current_frame)
+        else:
+            state.table.add_vision(request.sender_id, self.current_frame)
+
+    # -- kill claims -------------------------------------------------------------
+
+    def _on_kill_claim(self, src: int, claim: KillClaim) -> None:
+        sender = claim.sender_id
+        if src == sender and self._accepts_first_hop_from(sender):
+            self._judge_kill_claim(claim, Confidence.PROXY)
+            state = self._client_state(sender)
+            witnesses = state.table.interest_subscribers(
+                self.current_frame
+            ) | state.table.vision_subscribers(self.current_frame)
+            for witness in witnesses:
+                if witness not in (sender, self.player_id):
+                    self._transmit(claim, witness)
+                    self.metrics.forwarded_messages += 1
+            return
+        self._judge_kill_claim(claim, self._confidence_about(sender))
+
+    def _on_projectile_spawn(self, src: int, spawn: ProjectileSpawn) -> None:
+        sender = spawn.sender_id
+        if sender == self.player_id:
+            return
+        if src == sender and self._accepts_first_hop_from(sender):
+            rating = self.projectiles.verify_spawn(
+                self.player_id,
+                spawn.frame,
+                sender,
+                spawn.weapon,
+                spawn.origin,
+                spawn.velocity,
+                self.known.get(sender),
+                Confidence.PROXY,
+            )
+            self._emit_rating(rating)
+            if rating.suspicious:
+                self._client_state(sender).suspicion_flags += 1
+            self.projectiles.record(
+                sender, spawn.frame, spawn.weapon, spawn.origin, spawn.velocity
+            )
+            # Witnesses (the client's subscribers) also track the object.
+            state = self._client_state(sender)
+            witnesses = state.table.interest_subscribers(
+                self.current_frame
+            ) | state.table.vision_subscribers(self.current_frame)
+            for witness in witnesses:
+                if witness not in (sender, self.player_id):
+                    self._transmit(spawn, witness)
+                    self.metrics.forwarded_messages += 1
+            return
+        # Witness side: record for later kill-claim corroboration.
+        rating = self.projectiles.verify_spawn(
+            self.player_id,
+            spawn.frame,
+            sender,
+            spawn.weapon,
+            spawn.origin,
+            spawn.velocity,
+            self.known.get(sender),
+            self._confidence_about(sender),
+        )
+        if rating.suspicious:
+            self._emit_rating(rating)
+        self.projectiles.record(
+            sender, spawn.frame, spawn.weapon, spawn.origin, spawn.velocity
+        )
+
+    def _judge_kill_claim(self, claim: KillClaim, confidence: float) -> None:
+        from repro.game.weapons import WEAPONS as _WEAPONS
+
+        spec = _WEAPONS.get(claim.weapon)
+        if spec is not None and spec.projectile_speed is not None:
+            self._deferred_claims.append((self.current_frame + 4, claim, confidence))
+            return
+        self._judge_kill_claim_now(claim, confidence)
+
+    def _judge_kill_claim_now(self, claim: KillClaim, confidence: float) -> None:
+        rating = self.kill_verifier.verify(
+            self.player_id,
+            claim.frame,
+            claim.sender_id,
+            claim.weapon,
+            self.known.get(claim.sender_id),
+            self.known.get(claim.victim_id),
+            confidence,
+            has_full_object_view=self._accepts_first_hop_from(claim.sender_id),
+        )
+        self._emit_rating(rating)
+        self.recency.record(claim.sender_id, claim.victim_id, claim.frame)
+
+    # -- handoff -------------------------------------------------------------------
+
+    def _on_handoff(self, message: HandoffMessage) -> None:
+        client_id = message.player_id
+        expected_old_proxy = self.schedule.proxy_of(client_id, message.epoch)
+        if message.sender_id != expected_old_proxy:
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=message.sender_id,
+                    frame=self.current_frame,
+                    check=CheckKind.RATE,
+                    rating=10.0,
+                    confidence=Confidence.PROXY,
+                    deviation=1.0,
+                    detail="handoff from a node that was not the proxy",
+                )
+            )
+            return
+        if not self._is_proxy_of(client_id):
+            return
+        state = self._client_state(client_id)
+        state.table.import_sets(
+            message.interest_subscribers,
+            message.vision_subscribers,
+            self.current_frame,
+        )
+        state.predecessor_summaries = message.summaries
+        if message.summaries and message.summaries[0].last_snapshot is not None:
+            state.last_snapshot = message.summaries[0].last_snapshot
+            existing = self.known.get(client_id)
+            incoming = message.summaries[0].last_snapshot
+            if existing is None or existing.frame <= incoming.frame:
+                self.known[client_id] = incoming
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _is_proxy_of(self, player_id: int) -> bool:
+        epoch = self.config.epoch_of_frame(self.current_frame)
+        try:
+            return self.schedule.proxy_of(player_id, epoch) == self.player_id
+        except KeyError:
+            return False
+
+    def _accepts_first_hop_from(self, player_id: int) -> bool:
+        """Was I this player's proxy recently enough to accept his traffic?
+
+        Messages sent in the last frames of an epoch can arrive after the
+        renewal; the outgoing proxy still accepts (and forwards) them
+        instead of flagging an honest sender.
+        """
+        epoch = self.config.epoch_of_frame(self.current_frame)
+        try:
+            if self.schedule.proxy_of(player_id, epoch) == self.player_id:
+                return True
+            if epoch > 0:
+                return self.schedule.proxy_of(player_id, epoch - 1) == self.player_id
+        except KeyError:
+            return False
+        return False
+
+    def _confidence_about(self, subject_id: int) -> float:
+        """My vantage-point confidence about a subject (c_P>c_IS>c_VS>c_O)."""
+        if self._is_proxy_of(subject_id):
+            return Confidence.PROXY
+        sets = self.current_sets
+        if sets is not None:
+            if subject_id in sets.interest:
+                return Confidence.INTEREST
+            if subject_id in sets.vision:
+                return Confidence.VISION
+        return Confidence.OTHER
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _transmit(self, message: GameMessage, destination: int) -> None:
+        """Sign and send through the behaviour hooks and the transport."""
+        if destination == self.player_id:
+            self.on_message(self.player_id, message)
+            return
+        for out_message, out_destination in self.behaviour.filter_outgoing(
+            self.current_frame, message, destination
+        ):
+            self._transmit_unfiltered(out_message, out_destination)
+
+    def _transmit_unfiltered(self, message: GameMessage, destination: int) -> None:
+        """Sign and send without re-applying the behaviour's filter."""
+        if destination == self.player_id:
+            self.on_message(self.player_id, message)
+            return
+        signed = self._signed(message)
+        size = message_size_bytes(signed, self.config)
+        self._send_raw(self.player_id, destination, signed, size)
+
+    def _signed(self, message: GameMessage) -> GameMessage:
+        if message.signature is not None:
+            return message
+        # Sign with *our own* key: a node claiming another sender_id
+        # (spoofing) produces a signature that fails verification at the
+        # receiver, which is exactly how the paper defeats spoofing.
+        signature = self.signer.sign(self.player_id, signable_bytes(message))
+        return type(message)(
+            **{
+                name: getattr(message, name)
+                for name in message.__dataclass_fields__
+                if name != "signature"
+            },
+            signature=signature,
+        )
+
+    def _record_age(self, kind: str, stamped_frame: int) -> None:
+        age = max(0, self.current_frame - stamped_frame)
+        self.metrics.update_ages.append((kind, age))
+
+    def _emit_rating(self, rating: CheatRating) -> None:
+        self.metrics.ratings.append(rating)
+        if self._rating_sink is not None:
+            self._rating_sink(rating)

@@ -1,0 +1,368 @@
+"""WatchmenSession: a full protocol run of N nodes over the simulated WAN.
+
+This is the reproduction's equivalent of the paper's replay engine: it
+takes a recorded :class:`~repro.game.trace.GameTrace`, instantiates one
+:class:`~repro.core.node.WatchmenNode` per player, wires them through the
+:class:`~repro.net.transport.DatagramNetwork` (latency matrix + loss +
+jitter), and replays the game frame by frame — "generate the same network
+traffic repeatedly and under different networking and proxy architectures
+to measure different aspects of the performance".
+
+Outputs: update-age distributions (Figure 7), bandwidth per node, every
+cheat rating emitted by every verifier (Figure 6), and the reputation
+board's state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.config import WatchmenConfig
+from repro.core.messages import GameMessage, GuidanceMessage, StateUpdate
+from repro.core.node import NodeBehaviour, WatchmenNode
+from repro.core.proxy import ProxySchedule
+from repro.core.reputation import ReputationBoard
+from repro.core.verification import CheatRating
+from repro.crypto.signatures import HmacSigner
+from repro.game.gamemap import GameMap, make_longest_yard
+from repro.game.trace import GameTrace
+from repro.net.events import EventQueue
+from repro.net.latency import LatencyMatrix, king_like
+from repro.net.transport import Datagram, DatagramNetwork, NetworkConfig
+
+__all__ = ["SessionReport", "WatchmenSession"]
+
+
+@dataclass
+class SessionReport:
+    """Aggregated observations from one session run."""
+
+    num_players: int
+    num_frames: int
+    age_histogram: dict[int, int] = field(default_factory=dict)
+    age_histogram_by_kind: dict[str, dict[int, int]] = field(default_factory=dict)
+    mean_upload_kbps: float = 0.0
+    max_upload_kbps: float = 0.0
+    messages_sent: int = 0
+    messages_lost: int = 0
+    ratings: list[CheatRating] = field(default_factory=list)
+    banned: set[int] = field(default_factory=set)
+    server_upload_kbps: dict[int, float] = field(default_factory=dict)
+    view_errors: list[float] = field(default_factory=list)
+
+    def view_error_stats(self) -> dict[str, float]:
+        """Mean / median / p95 rendered-view error (game units)."""
+        if not self.view_errors:
+            return {}
+        ordered = sorted(self.view_errors)
+        return {
+            "mean": sum(ordered) / len(ordered),
+            "median": ordered[len(ordered) // 2],
+            "p95": ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+        }
+
+    def age_pdf(self) -> dict[int, float]:
+        """P(age = k frames) over all received updates — Figure 7's PDF."""
+        total = sum(self.age_histogram.values())
+        if total == 0:
+            return {}
+        return {
+            age: count / total for age, count in sorted(self.age_histogram.items())
+        }
+
+    def stale_fraction(self, max_useful_age: int = 3) -> float:
+        """Fraction of received updates older than the Quake bound (loss)."""
+        total = sum(self.age_histogram.values())
+        if total == 0:
+            return 0.0
+        stale = sum(
+            count for age, count in self.age_histogram.items() if age >= max_useful_age
+        )
+        return stale / total
+
+    def ratings_about(self, subject_id: int) -> list[CheatRating]:
+        return [r for r in self.ratings if r.subject_id == subject_id]
+
+
+class WatchmenSession:
+    """Wire a trace, a latency model and (optionally) cheats; then run."""
+
+    def __init__(
+        self,
+        trace: GameTrace,
+        game_map: GameMap | None = None,
+        config: WatchmenConfig | None = None,
+        latency: LatencyMatrix | None = None,
+        network_config: NetworkConfig | None = None,
+        behaviours: dict[int, NodeBehaviour] | None = None,
+        reputation: ReputationBoard | None = None,
+        signer=None,
+        departures: dict[int, int] | None = None,
+        view_error_stride: int | None = None,
+        servers: int = 0,
+        server_only_proxies: bool = True,
+        server_weight: int = 4,
+        proxy_pool: list[int] | None = None,
+        pool_weights: dict[int, int] | None = None,
+    ):
+        self.trace = trace
+        self.game_map = game_map or make_longest_yard()
+        self.config = config or WatchmenConfig()
+        self.reputation = reputation or ReputationBoard()
+        #: player id -> frame at which he abruptly leaves (churn injection)
+        self.departures = dict(departures or {})
+        #: sample the rendered-view error every k frames (None = off)
+        self.view_error_stride = view_error_stride
+        self.view_errors: list[float] = []
+        roster = trace.player_ids()
+        if len(roster) < 2:
+            raise ValueError("a session needs at least two players")
+        if servers < 0:
+            raise ValueError("servers must be non-negative")
+        # Hybrid architecture (Section VI): trusted game servers join the
+        # proxy pool — exclusively (every player proxied by a server) or
+        # weighted alongside the players.
+        self.server_ids = [max(roster) + 1 + i for i in range(servers)]
+
+        total_endpoints = len(roster) + len(self.server_ids)
+        self.queue = EventQueue()
+        self.network = DatagramNetwork(
+            self.queue,
+            latency or king_like(total_endpoints, seed=trace.seed),
+            network_config or NetworkConfig(seed=trace.seed),
+        )
+        if self.network.latency.size < total_endpoints:
+            raise ValueError("latency matrix too small for players + servers")
+        if self.server_ids:
+            if server_only_proxies:
+                pool = list(self.server_ids)
+                weights = None
+            else:
+                pool = roster + self.server_ids
+                weights = {s: server_weight for s in self.server_ids}
+            self.schedule = ProxySchedule(
+                roster,
+                common_seed=self.config.common_seed,
+                proxy_period_frames=self.config.proxy_period_frames,
+                proxy_pool=pool,
+                pool_weights=weights,
+                infrastructure=self.server_ids,
+            )
+        else:
+            self.schedule = ProxySchedule(
+                roster,
+                common_seed=self.config.common_seed,
+                proxy_period_frames=self.config.proxy_period_frames,
+                proxy_pool=proxy_pool,
+                pool_weights=pool_weights,
+            )
+        self.signer = signer or HmacSigner(signature_bits=self.config.signature_bits)
+        for player_id in roster + self.server_ids:
+            self.signer.register(player_id)
+
+        behaviours = behaviours or {}
+        self.nodes: dict[int, WatchmenNode] = {}
+        for player_id in roster:
+            node = WatchmenNode(
+                player_id=player_id,
+                roster=roster,
+                game_map=self.game_map,
+                config=self.config,
+                schedule=self.schedule,
+                signer=self.signer,
+                send=self.network.send,
+                behaviour=behaviours.get(player_id),
+                rating_sink=self.reputation.submit_rating,
+            )
+            # Seed frame-0 knowledge: FPS "players are usually aware of all
+            # entities of the game" when the match starts.
+            node.known = dict(trace.frames[0])
+            node.audience_oracle = self._audience_oracle_for(player_id)
+            node.own_future = self._future_oracle_for(player_id)
+            self.nodes[player_id] = node
+            self.network.register(
+                player_id,
+                lambda datagram, n=node: self._deliver(n, datagram),
+            )
+
+        for server_id in self.server_ids:
+            server_node = WatchmenNode(
+                player_id=server_id,
+                roster=roster,
+                game_map=self.game_map,
+                config=self.config,
+                schedule=self.schedule,
+                signer=self.signer,
+                send=self.network.send,
+                rating_sink=self.reputation.submit_rating,
+                is_server=True,
+            )
+            server_node.known = dict(trace.frames[0])
+            self.nodes[server_id] = server_node
+            self.network.register(
+                server_id,
+                lambda datagram, n=server_node: self._deliver(n, datagram),
+            )
+
+        self._kills_by_frame: dict[int, list] = {}
+        for kill in trace.kills:
+            self._kills_by_frame.setdefault(kill.frame, []).append(kill)
+        self._shots_by_frame: dict[int, list] = {}
+        for shot in trace.shots:
+            self._shots_by_frame.setdefault(shot.frame, []).append(shot)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _deliver(node: WatchmenNode, datagram: Datagram) -> None:
+        payload = datagram.payload
+        if isinstance(payload, tuple):  # defensive: no tuple payloads expected
+            raise TypeError("unexpected tuple payload")
+        node.on_message(datagram.src, payload)  # type: ignore[arg-type]
+
+    def _future_oracle_for(self, player_id: int):
+        """The player's own upcoming movement (his input intentions)."""
+
+        def future(frame: int):
+            if 0 <= frame < self.trace.num_frames:
+                return self.trace.frames[frame][player_id]
+            return None
+
+        return future
+
+    def _audience_oracle_for(self, player_id: int):
+        """Relaxed-first-hop audience: read the live subscriber lists.
+
+        Stands in for the proxy piggybacking the subscriber list back to
+        the publisher, which the paper allows "if bandwidth allows it ...
+        at the cost of lower security".
+        """
+
+        def audience(publisher_id: int, message: GameMessage) -> list[int]:
+            frame = self.nodes[publisher_id].current_frame
+            epoch = self.config.epoch_of_frame(frame)
+            proxy_id = self.schedule.proxy_of(publisher_id, epoch)
+            proxy_node = self.nodes.get(proxy_id)
+            if proxy_node is None:
+                return []
+            state = proxy_node._clients.get(publisher_id)
+            if state is None:
+                return []
+            if isinstance(message, StateUpdate):
+                return sorted(state.table.interest_subscribers(frame))
+            if isinstance(message, GuidanceMessage):
+                return sorted(state.table.vision_subscribers(frame))
+            return []
+
+        return audience
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_frames: int | None = None) -> SessionReport:
+        """Replay the trace through the protocol and aggregate the metrics."""
+        num_frames = self.trace.num_frames
+        if max_frames is not None:
+            num_frames = min(num_frames, max_frames)
+        dt = self.config.frame_seconds
+
+        for frame in range(num_frames):
+            self.queue.schedule_at(frame * dt, lambda f=frame: self._tick(f))
+        self.queue.run()
+        return self._report(num_frames)
+
+    def _tick(self, frame: int) -> None:
+        # Abrupt departures: the machine is gone — no more sends, no more
+        # receives.  The remaining nodes must detect and agree on it.
+        for player_id, depart_frame in self.departures.items():
+            if frame == depart_frame:
+                self.network.unregister(player_id)
+
+        # Feed game interactions first: the killer publishes a claim this
+        # frame; both parties update their interaction-recency trackers.
+        for shot in self._shots_by_frame.get(frame, ()):
+            self.nodes[shot.shooter_id].note_interaction(shot.target_id, frame)
+            self.nodes[shot.target_id].note_interaction(shot.shooter_id, frame)
+            self._announce_projectile_if_any(frame, shot)
+        for kill in self._kills_by_frame.get(frame, ()):
+            self.nodes[kill.killer_id].claim_kill(
+                frame, kill.victim_id, kill.weapon, kill.distance
+            )
+            self.nodes[kill.victim_id].note_interaction(kill.killer_id, frame)
+
+        snapshots = self.trace.frames[frame]
+        for player_id in self.trace.player_ids():
+            depart_frame = self.departures.get(player_id)
+            if depart_frame is not None and frame >= depart_frame:
+                continue
+            self.nodes[player_id].on_frame(frame, snapshots[player_id])
+        for server_id in self.server_ids:
+            self.nodes[server_id].on_frame(frame)
+
+        if self.view_error_stride and frame % self.view_error_stride == 0:
+            self._sample_view_error(frame, snapshots)
+
+    def _sample_view_error(self, frame: int, snapshots) -> None:
+        """Lag sample: rendered estimate vs true position, all pairs."""
+        for observer_id in self.trace.player_ids():
+            if observer_id in self.departures and frame >= self.departures[observer_id]:
+                continue
+            node = self.nodes[observer_id]
+            for subject_id, truth in snapshots.items():
+                if subject_id == observer_id or not truth.alive:
+                    continue
+                estimate = node.estimate_of(subject_id, frame)
+                if estimate is None:
+                    continue
+                self.view_errors.append(
+                    estimate.position.distance_to(truth.position)
+                )
+
+    def _announce_projectile_if_any(self, frame: int, shot) -> None:
+        """Projectile shots create short-lived objects the shooter announces."""
+        from repro.game.weapons import WEAPONS
+
+        spec = WEAPONS.get(shot.weapon)
+        if spec is None or spec.projectile_speed is None:
+            return
+        shooter = self.trace.frames[frame][shot.shooter_id]
+        target = self.trace.frames[frame][shot.target_id]
+        direction = (target.position - shooter.position).normalized()
+        self.nodes[shot.shooter_id].announce_projectile(
+            frame,
+            shot.weapon,
+            shooter.position,
+            direction * spec.projectile_speed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _report(self, num_frames: int) -> SessionReport:
+        report = SessionReport(
+            num_players=len(self.nodes) - len(self.server_ids),
+            num_frames=num_frames,
+        )
+        total_ages: Counter[int] = Counter()
+        by_kind: dict[str, Counter[int]] = {}
+        for node in self.nodes.values():
+            for kind, age in node.metrics.update_ages:
+                total_ages[age] += 1
+                by_kind.setdefault(kind, Counter())[age] += 1
+            report.ratings.extend(node.metrics.ratings)
+        report.age_histogram = dict(total_ages)
+        report.age_histogram_by_kind = {
+            kind: dict(counter) for kind, counter in by_kind.items()
+        }
+        player_ids = self.trace.player_ids()
+        uploads = [self.network.meter.upload_kbps(p) for p in player_ids]
+        report.mean_upload_kbps = sum(uploads) / len(uploads)
+        report.max_upload_kbps = max(uploads)
+        report.server_upload_kbps = {
+            server: self.network.meter.upload_kbps(server)
+            for server in self.server_ids
+        }
+        report.messages_sent = self.network.sent
+        report.messages_lost = self.network.lost
+        report.banned = self.reputation.banned()
+        report.view_errors = list(self.view_errors)
+        return report

@@ -1,0 +1,157 @@
+"""Random, verifiable, dynamic proxy assignment.
+
+Section IV: proxies are **random** (nobody controls who they serve or who
+serves them), **verifiable** ("all players in the game can verify each
+other's proxy and automatically send to the correct proxy") and **dynamic**
+(renewed every proxy period).
+
+The schedule is a pure function of (common seed, roster, epoch): player
+``p``'s proxy in epoch ``e`` is chosen by p's verifiable PRNG draw at
+counter ``e`` over the eligible pool minus ``p`` himself.  Every node
+computes the same schedule with zero communication; :meth:`verify_proxy`
+is the check any node can run on any claimed assignment.
+
+The pool can exclude low-resource nodes and weight powerful ones
+(Section VI "Upload capacity & Fairness"), still deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prng import VerifiablePrng
+
+__all__ = ["ProxySchedule", "ProxyAssignment"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyAssignment:
+    """One player's proxy for one epoch."""
+
+    player_id: int
+    proxy_id: int
+    epoch: int
+
+
+class ProxySchedule:
+    """Deterministic proxy schedule over a (possibly changing) roster."""
+
+    def __init__(
+        self,
+        roster: list[int],
+        common_seed: bytes = b"watchmen-session",
+        proxy_period_frames: int = 40,
+        proxy_pool: list[int] | None = None,
+        pool_weights: dict[int, int] | None = None,
+        infrastructure: list[int] | None = None,
+    ):
+        if len(roster) < 2:
+            raise ValueError("need at least two players for proxying")
+        if len(set(roster)) != len(roster):
+            raise ValueError("duplicate player ids in roster")
+        if proxy_period_frames <= 0:
+            raise ValueError("proxy_period_frames must be positive")
+        self.roster = sorted(roster)
+        self.common_seed = common_seed
+        self.proxy_period_frames = proxy_period_frames
+        # Infrastructure nodes (hybrid game servers, Section VI) can serve
+        # as proxies without being players themselves.
+        self.infrastructure = sorted(infrastructure or [])
+        if set(self.infrastructure) & set(self.roster):
+            raise ValueError("infrastructure ids collide with player ids")
+        pool = sorted(proxy_pool) if proxy_pool is not None else list(self.roster)
+        unknown = set(pool) - set(self.roster) - set(self.infrastructure)
+        if unknown:
+            raise ValueError(f"proxy pool contains non-roster ids {sorted(unknown)}")
+        if not pool:
+            raise ValueError("proxy pool must not be empty")
+        # Weighted pool: a node with weight w appears w times (more likely
+        # to be drawn, serving multiple players) — the heterogeneity hook.
+        weights = pool_weights or {}
+        self.pool: list[int] = []
+        for node in pool:
+            self.pool.extend([node] * max(1, int(weights.get(node, 1))))
+        self._prngs: dict[int, VerifiablePrng] = {}
+
+    # ---- schedule queries -------------------------------------------------
+
+    def epoch_of_frame(self, frame: int) -> int:
+        if frame < 0:
+            raise ValueError("frame must be non-negative")
+        return frame // self.proxy_period_frames
+
+    def proxy_of(self, player_id: int, epoch: int) -> int:
+        """The proxy serving ``player_id`` during ``epoch`` (verifiable)."""
+        if player_id not in set(self.roster):
+            raise KeyError(f"unknown player {player_id}")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        eligible = [node for node in self.pool if node != player_id]
+        if not eligible:
+            raise ValueError("no eligible proxy for player")
+        prng = self._prngs.get(player_id)
+        if prng is None:
+            prng = VerifiablePrng(self.common_seed, player_id)
+            self._prngs[player_id] = prng
+        index = prng.below_at(epoch, len(eligible))
+        return eligible[index]
+
+    def proxy_at_frame(self, player_id: int, frame: int) -> int:
+        return self.proxy_of(player_id, self.epoch_of_frame(frame))
+
+    def clients_of(self, proxy_id: int, epoch: int) -> list[int]:
+        """All players served by ``proxy_id`` during ``epoch``."""
+        return [
+            player
+            for player in self.roster
+            if self.proxy_of(player, epoch) == proxy_id
+        ]
+
+    def assignment_table(self, epoch: int) -> list[ProxyAssignment]:
+        return [
+            ProxyAssignment(player, self.proxy_of(player, epoch), epoch)
+            for player in self.roster
+        ]
+
+    # ---- verification --------------------------------------------------------
+
+    def verify_proxy(self, player_id: int, epoch: int, claimed_proxy: int) -> bool:
+        """Any node's check that a claimed assignment matches the schedule."""
+        try:
+            return self.proxy_of(player_id, epoch) == claimed_proxy
+        except (KeyError, ValueError):
+            return False
+
+    # ---- churn ----------------------------------------------------------------
+
+    def without_players(self, departed: set[int]) -> "ProxySchedule":
+        """A new schedule after departed players are removed (next round).
+
+        "These nodes are removed in the next round, through an agreement
+        protocol, from the proxy pool."  Roster edits take effect at epoch
+        boundaries; callers swap schedules then.
+        """
+        remaining = [p for p in self.roster if p not in departed]
+        remaining_pool = sorted({p for p in self.pool if p not in departed})
+        return ProxySchedule(
+            roster=remaining,
+            common_seed=self.common_seed,
+            proxy_period_frames=self.proxy_period_frames,
+            proxy_pool=remaining_pool or None,
+            infrastructure=self.infrastructure or None,
+        )
+
+    # ---- collusion statistics (Figure 5 / in-text 94 %) -----------------------
+
+    def honest_proxy_probability(self, num_colluders: int) -> float:
+        """P[a cheater's proxy is honest] with ``num_colluders`` colluders.
+
+        With uniform assignment over n−1 candidates and k−1 *other*
+        colluders eligible, the paper quotes 1 − 3/47 ≈ 94 % for k=4 … they
+        phrase it as "colludes with 3 other cheaters ... 1 − 3/47".
+        """
+        n = len(set(self.roster))
+        if not 0 <= num_colluders <= n:
+            raise ValueError("num_colluders out of range")
+        others = max(0, num_colluders - 1)
+        return 1.0 - others / (n - 1)

@@ -1,0 +1,1012 @@
+"""Mutual verification: sanity checks, ratings and confidence (Section V-A).
+
+Every player can verify every other player; accuracy depends on vantage
+point.  Each check rates an observed action "from 1 to 10 with regards to
+cheating probability (10 most likely cheating, 1 most likely normal)":
+behaviour inside the expected envelope rates 1, and the rating grows with
+the deviation.  Ratings are modulated by a **confidence factor** — proxies
+highest, then IS witnesses, VS witnesses, and others
+(c_P > c_IS > c_VS > c_O) — further discounted by update staleness.
+
+The expected envelopes come from the same code the simulator runs
+(physics, weapons, interest), plus calibration against honest behaviour:
+e.g. a guidance message is acceptable while the area between predicted and
+actual trajectory stays below ā + σ_a observed for honest players, which
+keeps the false-positive rate at the paper's ≤5 % operating point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace as dataclass_replace
+
+from repro.game.avatar import AvatarSnapshot
+from repro.game.deadreckoning import (
+    GuidancePrediction,
+    simulate_guidance,
+    trajectory_deviation_area,
+)
+from repro.game.gamemap import GameMap, eye_position
+from repro.game.interest import InterestConfig, attention_score, in_vision_cone
+from repro.game.physics import Physics
+from repro.game.vector import Vec3
+from repro.game.weapons import WEAPONS
+
+__all__ = [
+    "Confidence",
+    "CheckKind",
+    "CheatRating",
+    "DeviationCalibration",
+    "PositionVerifier",
+    "AimVerifier",
+    "GuidanceVerifier",
+    "KillVerifier",
+    "ProjectileTracker",
+    "SubscriptionVerifier",
+    "RateVerifier",
+    "rating_from_deviation",
+]
+
+MIN_RATING = 1.0
+MAX_RATING = 10.0
+
+
+class Confidence:
+    """Confidence factors by vantage point: c_P > c_IS > c_VS > c_O."""
+
+    PROXY = 1.0
+    INTEREST = 0.75
+    VISION = 0.55
+    OTHER = 0.30
+
+    STALENESS_HALFLIFE_FRAMES = 40
+
+    @staticmethod
+    def staleness_discount(staleness_frames: int) -> float:
+        """Old evidence gets low confidence ("discrepancy of a new update
+        with a very old guidance message is assigned a very low confidence")."""
+        if staleness_frames <= 0:
+            return 1.0
+        return 0.5 ** (staleness_frames / Confidence.STALENESS_HALFLIFE_FRAMES)
+
+
+class CheckKind:
+    """The verification families of Section V-A / Figure 6."""
+
+    POSITION = "position"
+    GUIDANCE = "guidance"
+    KILL = "kill"
+    IS_SUBSCRIPTION = "is-sub"
+    VS_SUBSCRIPTION = "vs-sub"
+    RATE = "rate"
+    AIM = "aim"
+
+    ALL = (POSITION, GUIDANCE, KILL, IS_SUBSCRIPTION, VS_SUBSCRIPTION, RATE, AIM)
+
+
+@dataclass(frozen=True, slots=True)
+class CheatRating:
+    """One verifier's verdict on one observed action."""
+
+    verifier_id: int
+    subject_id: int
+    frame: int
+    check: str
+    rating: float  # 1 (normal) .. 10 (most likely cheating)
+    confidence: float  # vantage-point confidence after staleness discount
+    deviation: float  # the raw metric (u, u·s, rank, rate ratio, ...)
+    detail: str = ""
+
+    @property
+    def score(self) -> float:
+        """Confidence-weighted suspicion used for detection decisions."""
+        return self.rating * self.confidence
+
+    @property
+    def suspicious(self) -> bool:
+        return self.rating > MIN_RATING + 1e-9
+
+
+def rating_from_deviation(deviation: float, allowed: float) -> float:
+    """Map a deviation metric to the 1..10 rating scale.
+
+    ≤ allowed → 1 (normal).  Beyond that the rating climbs linearly with
+    the *relative* excess, saturating at 10 when the behaviour is ~3× the
+    allowance.
+    """
+    if allowed <= 0:
+        allowed = 1e-9
+    if deviation <= allowed:
+        return MIN_RATING
+    excess = (deviation - allowed) / allowed
+    return min(MAX_RATING, MIN_RATING + 9.0 * min(1.0, excess / 2.0))
+
+
+@dataclass
+class DeviationCalibration:
+    """Streaming mean/σ of a deviation metric over honest behaviour.
+
+    Welford's algorithm; ``allowance`` returns ā + k·σ_a, the acceptance
+    envelope the paper uses for guidance verification.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    fallback: float = 1.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def allowance(self, sigmas: float = 1.0) -> float:
+        if self.count < 8:  # not enough honest data yet; be permissive
+            return self.fallback
+        return self.mean + sigmas * self.std
+
+
+# ---------------------------------------------------------------------------
+# Individual verifiers
+# ---------------------------------------------------------------------------
+
+
+class PositionVerifier:
+    """Checks successive position/state updates against game physics.
+
+    "they can easily compare successive updates and control whether the
+    movements follow game physics (e.g., gravity, limited velocity,
+    angular speed, permitted position)".
+    """
+
+    def __init__(
+        self,
+        physics: Physics,
+        tolerance: float = 1.10,
+        max_gap_frames: int = 40,
+    ):
+        self.physics = physics
+        self.tolerance = tolerance
+        self.max_gap_frames = max_gap_frames
+        self._last_seen: dict[int, AvatarSnapshot] = {}
+
+    def observe(
+        self,
+        verifier_id: int,
+        snapshot: AvatarSnapshot,
+        confidence: float,
+    ) -> CheatRating | None:
+        """Feed one received update; returns a rating once history exists."""
+        previous = self._last_seen.get(snapshot.player_id)
+        self._last_seen[snapshot.player_id] = snapshot
+        if previous is None or snapshot.frame <= previous.frame:
+            return None
+        frames = snapshot.frame - previous.frame
+        # Respawns teleport avatars legitimately; skip the death transition.
+        if not previous.alive or not snapshot.alive:
+            return None
+        # Very old history cannot distinguish a hidden death/respawn pair
+        # from a teleport hack; abstain rather than guess (low-staleness
+        # evidence would get near-zero confidence anyway).
+        if frames > self.max_gap_frames:
+            self._last_seen[snapshot.player_id] = snapshot
+            return None
+        excess = self.physics.displacement_excess(
+            previous.position, snapshot.position, frames
+        )
+        # Slack absorbs frame-phase and quantization noise so honest
+        # movement never rates above 1 (the FP ≤ 5 % operating point).
+        allowed = max(
+            2.0,
+            self.physics.max_horizontal_travel(frames) * (self.tolerance - 1.0),
+        )
+        rating = rating_from_deviation(excess, allowed)
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=snapshot.player_id,
+            frame=snapshot.frame,
+            check=CheckKind.POSITION,
+            rating=rating,
+            confidence=confidence,
+            deviation=excess,
+            detail=f"envelope excess {excess:.0f}u over {frames} frame(s)",
+        )
+
+    def forget(self, player_id: int) -> None:
+        self._last_seen.pop(player_id, None)
+
+
+class AimVerifier:
+    """Angular-speed statistical check — the aimbot detector of Table I.
+
+    Human (and honest-bot) view rotation is bounded by the engine's turn
+    rate; an aimbot snapping instantly onto targets produces yaw jumps far
+    beyond it.  Only short frame gaps are judged (yaw wraps make longer
+    gaps ambiguous).
+    """
+
+    def __init__(
+        self,
+        max_turn_rate: float = 12.0,
+        frame_seconds: float = 0.05,
+        tolerance: float = 1.3,
+        max_gap_frames: int = 5,
+    ):
+        self.max_turn_rate = max_turn_rate
+        self.frame_seconds = frame_seconds
+        self.tolerance = tolerance
+        self.max_gap_frames = max_gap_frames
+        self._last_seen: dict[int, AvatarSnapshot] = {}
+
+    def observe(
+        self,
+        verifier_id: int,
+        snapshot: AvatarSnapshot,
+        confidence: float,
+    ) -> CheatRating | None:
+        previous = self._last_seen.get(snapshot.player_id)
+        self._last_seen[snapshot.player_id] = snapshot
+        if previous is None or snapshot.frame <= previous.frame:
+            return None
+        frames = snapshot.frame - previous.frame
+        if frames > self.max_gap_frames:
+            return None
+        if not previous.alive or not snapshot.alive:
+            return None
+        delta = abs(
+            (snapshot.yaw - previous.yaw + math.pi) % (2.0 * math.pi) - math.pi
+        )
+        allowed = self.max_turn_rate * self.frame_seconds * frames * self.tolerance
+        rating = rating_from_deviation(delta, allowed)
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=snapshot.player_id,
+            frame=snapshot.frame,
+            check=CheckKind.AIM,
+            rating=rating,
+            confidence=confidence,
+            deviation=delta,
+            detail=f"turned {delta:.2f} rad in {frames} frame(s)",
+        )
+
+    def forget(self, player_id: int) -> None:
+        self._last_seen.pop(player_id, None)
+
+
+class GuidanceVerifier:
+    """Compares guidance predictions against subsequently observed motion.
+
+    The deviation metric is the area between predicted and actual
+    trajectories; the acceptance envelope ā + σ_a is calibrated online
+    from honest observations.
+    """
+
+    def __init__(
+        self,
+        frame_seconds: float = 0.05,
+        calibration: DeviationCalibration | None = None,
+        sigmas: float = 2.0,
+        check_horizon_frames: int = 8,
+    ):
+        self.frame_seconds = frame_seconds
+        self.calibration = calibration or DeviationCalibration(fallback=60.0)
+        self.sigmas = sigmas
+        # Judge only the first frames after a prediction: honest constant-
+        # velocity predictions are accurate there, while a fabricated
+        # velocity diverges immediately — that is where the lie shows.
+        self.check_horizon_frames = check_horizon_frames
+        self._predictions: dict[int, GuidancePrediction] = {}
+        self._observed: dict[int, list[tuple[int, Vec3]]] = {}
+
+    def observe_guidance(
+        self, subject_id: int, prediction: GuidancePrediction
+    ) -> None:
+        self._predictions[subject_id] = prediction
+        self._observed[subject_id] = []
+
+    def observe_position(
+        self,
+        verifier_id: int,
+        snapshot: AvatarSnapshot,
+        confidence: float,
+        calibrate: bool = False,
+    ) -> CheatRating | None:
+        """Feed an observed position; rate once the horizon is covered."""
+        prediction = self._predictions.get(snapshot.player_id)
+        if prediction is None or snapshot.frame < prediction.frame:
+            return None
+        if not snapshot.alive:
+            # Deaths/respawns teleport the avatar; the comparison is void.
+            self._predictions.pop(snapshot.player_id, None)
+            self._observed.pop(snapshot.player_id, None)
+            return None
+        track = self._observed.setdefault(snapshot.player_id, [])
+        track.append((snapshot.frame, snapshot.position))
+        horizon_end = prediction.frame + min(
+            prediction.horizon_frames, self.check_horizon_frames
+        )
+        if snapshot.frame < horizon_end:
+            return None
+
+        frames = [f for f, _ in track]
+        start = min(frames)
+        staleness = max(0, start - prediction.frame)
+        # A meaningful endpoint comparison needs observations tightly
+        # bracketing the check endpoint; sparse (1 Hz) trackers abstain —
+        # "the accuracy is obviously reduced" for players outside IS/VS.
+        before = [f for f in frames if f <= horizon_end]
+        after = [f for f in frames if f >= horizon_end]
+        if not before or not after or min(after) - max(before) > 4:
+            del self._predictions[snapshot.player_id]
+            del self._observed[snapshot.player_id]
+            return None
+        # Deviation: where the prediction says the avatar should be at the
+        # end of the check window versus where it actually is.
+        actual_end = self._interpolate(track, horizon_end)
+        predicted_end = prediction.position_at(horizon_end, self.frame_seconds)
+        gap = predicted_end.distance_to(actual_end)
+
+        del self._predictions[snapshot.player_id]
+        del self._observed[snapshot.player_id]
+
+        if calibrate:
+            self.calibration.observe(gap)
+        allowed = max(self.calibration.allowance(self.sigmas), 16.0)
+        rating = rating_from_deviation(gap, allowed)
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=snapshot.player_id,
+            frame=snapshot.frame,
+            check=CheckKind.GUIDANCE,
+            rating=rating,
+            confidence=confidence * Confidence.staleness_discount(staleness),
+            deviation=gap,
+            detail=f"prediction off by {gap:.0f}u vs allowance {allowed:.0f}u",
+        )
+
+    @staticmethod
+    def _interpolate(track: list[tuple[int, Vec3]], frame: int) -> Vec3:
+        track = sorted(track, key=lambda point: point[0])
+        before = [(f, p) for f, p in track if f <= frame]
+        after = [(f, p) for f, p in track if f >= frame]
+        if before and after:
+            f0, p0 = before[-1]
+            f1, p1 = after[0]
+            if f0 == f1:
+                return p0
+            t = (frame - f0) / (f1 - f0)
+            return p0.lerp(p1, t)
+        return (before or after)[0][1]
+
+
+class ProjectileTracker:
+    """Remembers announced short-lived objects per owner.
+
+    Verifiers use it two ways: validate the announcement itself (origin at
+    the shooter, speed matching the weapon) and later corroborate kill
+    claims ("a rocket was effectively fired").
+    """
+
+    def __init__(self, max_age_frames: int = 80):
+        self.max_age_frames = max_age_frames
+        self._spawns: dict[int, list] = {}  # owner -> [(frame, weapon, origin, velocity)]
+
+    def record(self, owner_id: int, frame: int, weapon: str, origin, velocity) -> None:
+        spawns = self._spawns.setdefault(owner_id, [])
+        spawns.append((frame, weapon, origin, velocity))
+        cutoff = frame - self.max_age_frames
+        self._spawns[owner_id] = [s for s in spawns if s[0] >= cutoff]
+
+    def verify_spawn(
+        self,
+        verifier_id: int,
+        spawn_frame: int,
+        owner_id: int,
+        weapon: str,
+        origin,
+        velocity,
+        owner_snapshot: AvatarSnapshot | None,
+        confidence: float,
+    ) -> CheatRating:
+        """Sanity-check an announcement before recording it."""
+        spec = WEAPONS.get(weapon)
+        deviation = 0.0
+        details = []
+        if spec is None or spec.projectile_speed is None:
+            return CheatRating(
+                verifier_id=verifier_id,
+                subject_id=owner_id,
+                frame=spawn_frame,
+                check=CheckKind.KILL,
+                rating=MAX_RATING,
+                confidence=confidence,
+                deviation=math.inf,
+                detail=f"projectile announcement for non-projectile {weapon!r}",
+            )
+        speed = velocity.length()
+        speed_error = abs(speed - spec.projectile_speed)
+        if speed_error > spec.projectile_speed * 0.1:
+            deviation = max(deviation, speed_error)
+            details.append(f"speed {speed:.0f} vs spec {spec.projectile_speed:.0f}")
+        if owner_snapshot is not None:
+            staleness = max(0, spawn_frame - owner_snapshot.frame)
+            slack = 320.0 * 0.05 * (staleness + 2)
+            origin_gap = origin.distance_to(owner_snapshot.position)
+            if origin_gap > 64.0 + slack:
+                deviation = max(deviation, origin_gap)
+                details.append(f"origin {origin_gap:.0f}u from the shooter")
+        rating = (
+            MIN_RATING
+            if not details
+            else rating_from_deviation(deviation, 64.0)
+        )
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=owner_id,
+            frame=spawn_frame,
+            check=CheckKind.KILL,
+            rating=rating,
+            confidence=confidence,
+            deviation=deviation,
+            detail="; ".join(details) or "consistent projectile spawn",
+        )
+
+    def closest_approach(
+        self,
+        owner_id: int,
+        weapon: str,
+        claim_frame: int,
+        target_position,
+        frame_seconds: float = 0.05,
+    ) -> tuple[float, int] | None:
+        """(min distance, flight frames) of the best matching spawn.
+
+        None when the owner announced no matching projectile recently —
+        the rocket was never fired.  The flight age matters to the caller:
+        the victim keeps moving while the rocket flies, so the acceptance
+        radius grows with it.
+        """
+        spawns = [
+            s
+            for s in self._spawns.get(owner_id, [])
+            if s[1] == weapon and 0 <= claim_frame - s[0] <= self.max_age_frames
+        ]
+        if not spawns:
+            return None
+        best = math.inf
+        best_age = 0
+        for spawn_frame, weapon_name, origin, velocity in spawns:
+            # Sample the whole plausible flight: claims may be issued the
+            # instant of impact, so the elapsed frames alone do not bound
+            # how far the projectile travelled.
+            spec = WEAPONS.get(weapon_name)
+            speed = max(1.0, velocity.length())
+            max_range = (
+                spec.effective_range if spec is not None else speed
+            )
+            steps = max(1, int(max_range / (speed * frame_seconds)))
+            for step in range(steps + 1):
+                point = origin + velocity * (step * frame_seconds)
+                gap = point.distance_to(target_position)
+                if gap < best:
+                    best = gap
+                    best_age = claim_frame - spawn_frame
+        return best, best_age
+
+
+class KillVerifier:
+    """Verifies kill claims: weapon, distance, visibility, rate, IS dwell.
+
+    "The verification consists of checking that, e.g., a rocket was
+    effectively fired and the distance between the position of the rocket
+    and that of the target is used as a metric of the deviation."
+    """
+
+    def __init__(
+        self,
+        game_map: GameMap,
+        range_tolerance: float = 1.15,
+        projectiles: "ProjectileTracker | None" = None,
+    ):
+        self.game_map = game_map
+        self.range_tolerance = range_tolerance
+        self.projectiles = projectiles
+        self._last_kill_frame: dict[int, int] = {}
+
+    def verify(
+        self,
+        verifier_id: int,
+        claim_frame: int,
+        killer_id: int,
+        weapon: str,
+        killer_snapshot: AvatarSnapshot | None,
+        victim_snapshot: AvatarSnapshot | None,
+        confidence: float,
+        has_full_object_view: bool = True,
+    ) -> CheatRating:
+        spec = WEAPONS.get(weapon)
+        suspicion: list[str] = []
+        deviation = 0.0
+
+        if spec is None:
+            return CheatRating(
+                verifier_id=verifier_id,
+                subject_id=killer_id,
+                frame=claim_frame,
+                check=CheckKind.KILL,
+                rating=MAX_RATING,
+                confidence=confidence,
+                deviation=math.inf,
+                detail=f"unknown weapon {weapon!r}",
+            )
+
+        staleness = 0
+        if killer_snapshot is not None and victim_snapshot is not None:
+            staleness = max(
+                0,
+                claim_frame - killer_snapshot.frame,
+                claim_frame - victim_snapshot.frame,
+            )
+            # Both parties may have moved since our snapshots; widen the
+            # distance allowance accordingly (both could close the gap).
+            motion_slack = 2.0 * 320.0 * 0.05 * staleness
+            distance = killer_snapshot.position.distance_to(victim_snapshot.position)
+            max_range = spec.effective_range * self.range_tolerance + motion_slack
+            if distance > max_range:
+                suspicion.append(f"distance {distance:.0f}u > range {max_range:.0f}u")
+                deviation = max(deviation, distance - max_range)
+            # Visibility flips with small movements; only judge it on
+            # fresh views ("a very old guidance message is assigned a very
+            # low confidence" — we abstain instead of guessing).
+            if staleness <= 8 and not self.game_map.line_of_sight(
+                eye_position(killer_snapshot.position),
+                eye_position(victim_snapshot.position),
+            ):
+                suspicion.append("no line of sight")
+                deviation = max(deviation, spec.effective_range)
+            if killer_snapshot.weapon and killer_snapshot.weapon != weapon:
+                suspicion.append(
+                    f"claimed {weapon} but carries {killer_snapshot.weapon}"
+                )
+                deviation = max(deviation, spec.effective_range / 2.0)
+
+        # Refire-rate sanity: kills cannot arrive faster than the weapon cycles.
+        last = self._last_kill_frame.get(killer_id)
+        self._last_kill_frame[killer_id] = claim_frame
+        if last is not None and 0 <= claim_frame - last < spec.refire_frames:
+            suspicion.append("kill faster than weapon refire")
+            deviation = max(deviation, spec.effective_range)
+
+        # Projectile corroboration: a rocket kill needs an announced rocket
+        # whose path actually reaches the victim.  Only the proxy sees
+        # every announcement; witnesses may miss spawns (subscriber churn),
+        # so absence of evidence is evidence only with the full view.
+        if (
+            self.projectiles is not None
+            and spec.projectile_speed is not None
+            and victim_snapshot is not None
+            and has_full_object_view
+        ):
+            match = self.projectiles.closest_approach(
+                killer_id, weapon, claim_frame, victim_snapshot.position
+            )
+            if match is None:
+                suspicion.append("no matching projectile was ever fired")
+                deviation = max(deviation, spec.effective_range)
+            else:
+                approach, flight_frames = match
+                # The victim runs while the rocket flies; the acceptance
+                # radius grows with the flight (and view staleness).
+                allowed = 160.0 + 320.0 * 0.05 * (flight_frames + staleness)
+                if approach > allowed:
+                    suspicion.append(
+                        f"closest announced projectile passed "
+                        f"{approach:.0f}u away (allowed {allowed:.0f}u)"
+                    )
+                    deviation = max(deviation, approach)
+
+        if not suspicion:
+            rating = MIN_RATING
+        else:
+            rating = rating_from_deviation(
+                deviation, spec.effective_range * 0.05
+            )
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=killer_id,
+            frame=claim_frame,
+            check=CheckKind.KILL,
+            rating=rating,
+            confidence=confidence * Confidence.staleness_discount(staleness),
+            deviation=deviation,
+            detail="; ".join(suspicion) or "consistent kill",
+        )
+
+
+class SubscriptionVerifier:
+    """Proxy-side check that a client's subscriptions are justified.
+
+    "A VS subscription is only valid if q is in p's vision cone.  For
+    incorrect VS subscriptions, the distance between q and p's vision cone
+    is used as a metric ... For IS-subscriptions, a proxy computes interest
+    with sufficient accuracy based on the attention metric."
+    """
+
+    def __init__(
+        self,
+        game_map: GameMap,
+        interest: InterestConfig,
+        repeat_window_frames: int = 200,
+        repeat_step: float = 1.5,
+    ):
+        self.game_map = game_map
+        self.interest = interest
+        # Honest "ghost" subscriptions (planned on stale target info) are
+        # sporadic and self-correcting; a maphack consumer re-subscribes to
+        # invisible targets *persistently*.  Repetition escalates the
+        # rating — "repetitions" are their own cheat signature (Table I).
+        self.repeat_window_frames = repeat_window_frames
+        self.repeat_step = repeat_step
+        self._suspicious_frames: dict[int, list[int]] = {}
+
+    def verify_vision_subscription(
+        self,
+        verifier_id: int,
+        frame: int,
+        subscriber: AvatarSnapshot,
+        target: AvatarSnapshot,
+        confidence: float,
+        slack_frames: int = 8,
+    ) -> CheatRating:
+        """Rate a VS subscription; slack_frames forgives subscription latency."""
+        if in_vision_cone(subscriber, target, self.interest):
+            rating, deviation, detail = MIN_RATING, 0.0, "target inside cone"
+            # Maphack signature: inside the cone but behind a wall — "the
+            # avatars that are in a player's vision range, but behind a
+            # wall do not appear in his vision set".  Occlusion flips with
+            # small movements, so only fresh views are judged.
+            staleness = max(
+                0, frame - subscriber.frame, frame - target.frame
+            )
+            if staleness <= 4 and self._solidly_occluded(subscriber, target):
+                deviation = 0.3 * subscriber.position.distance_to(
+                    target.position
+                )
+                allowed = 320.0 * 0.05 * slack_frames
+                rating = rating_from_deviation(deviation, allowed)
+                rating = self._escalate(subscriber.player_id, frame, rating)
+                detail = "target inside cone but occluded"
+        else:
+            # The subscriber may have planned on a position-update-old view
+            # of the target (up to ~1 s).  Rewind the target along its
+            # velocity and take the most charitable reading: an honest
+            # subscription matches some recent target position, a bogus one
+            # (never-visible target) matches none.
+            deviation = self._cone_deviation(subscriber, target)
+            for rewind_frames in (10, 20):
+                rewound = dataclass_replace(
+                    target,
+                    position=target.position
+                    - target.velocity * (0.05 * rewind_frames),
+                )
+                if in_vision_cone(
+                    subscriber, rewound, self.interest
+                ) and self.game_map.line_of_sight(
+                    eye_position(subscriber.position),
+                    eye_position(rewound.position),
+                ):
+                    deviation = 0.0
+                    break
+                deviation = min(
+                    deviation, self._cone_deviation(subscriber, rewound)
+                )
+            # Allow the target to be a few frames of movement outside the
+            # cone: subscriptions are predicted/retained, not instantaneous.
+            allowed = 320.0 * 0.05 * slack_frames + 0.15 * self.interest.vision_radius
+            rating = rating_from_deviation(deviation, allowed)
+            rating = self._escalate(subscriber.player_id, frame, rating)
+            detail = f"target {deviation:.0f}u outside cone"
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=subscriber.player_id,
+            frame=frame,
+            check=CheckKind.VS_SUBSCRIPTION,
+            rating=rating,
+            confidence=confidence,
+            deviation=deviation,
+            detail=detail,
+        )
+
+    def verify_interest_subscription(
+        self,
+        verifier_id: int,
+        frame: int,
+        subscriber: AvatarSnapshot,
+        target: AvatarSnapshot,
+        known: dict[int, AvatarSnapshot],
+        confidence: float,
+    ) -> CheatRating:
+        """Rate an IS subscription by the target's attention rank."""
+        vision_rating = self.verify_vision_subscription(
+            verifier_id, frame, subscriber, target, confidence
+        )
+        if vision_rating.rating > MIN_RATING:
+            # Not even visible: inherit the cone deviation but tag as IS.
+            # (Escalation already applied inside the vision check.)
+            return CheatRating(
+                verifier_id=verifier_id,
+                subject_id=subscriber.player_id,
+                frame=frame,
+                check=CheckKind.IS_SUBSCRIPTION,
+                rating=vision_rating.rating,
+                confidence=confidence,
+                deviation=vision_rating.deviation,
+                detail="IS target outside vision cone",
+            )
+        target_score = attention_score(subscriber, target, frame, self.interest)
+        rank = 1
+        for other_id, other in known.items():
+            if other_id in (subscriber.player_id, target.player_id):
+                continue
+            if not other.alive or not in_vision_cone(subscriber, other, self.interest):
+                continue
+            if (
+                attention_score(subscriber, other, frame, self.interest)
+                > target_score
+            ):
+                rank += 1
+        allowed_rank = self.interest.interest_size * 2  # generous: local views differ
+        rating = rating_from_deviation(float(rank), float(allowed_rank))
+        rating = self._escalate(subscriber.player_id, frame, rating)
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=subscriber.player_id,
+            frame=frame,
+            check=CheckKind.IS_SUBSCRIPTION,
+            rating=rating,
+            confidence=confidence,
+            deviation=float(rank),
+            detail=f"target attention rank {rank} (IS size {self.interest.interest_size})",
+        )
+
+    def _escalate(self, subscriber_id: int, frame: int, rating: float) -> float:
+        """Raise the rating with each recent suspicious subscription."""
+        if rating <= 2.0:
+            return rating
+        history = self._suspicious_frames.setdefault(subscriber_id, [])
+        cutoff = frame - self.repeat_window_frames
+        history[:] = [f for f in history if f >= cutoff]
+        repeats = len(history)
+        history.append(frame)
+        # The first couple of suspicious subscriptions are within honest
+        # ghosting rates; escalation starts from the third in the window.
+        return min(MAX_RATING, rating + self.repeat_step * max(0, repeats - 1))
+
+    def _solidly_occluded(
+        self, subscriber: AvatarSnapshot, target: AvatarSnapshot
+    ) -> bool:
+        """Blocked along the direct line *and* laterally offset lines.
+
+        Verifier views lag the subscriber's by a frame or two; near wall
+        edges that flips single-ray visibility and would convict honest
+        subscriptions.  A maphack target sits deep behind geometry, where
+        every sampled ray is blocked.
+        """
+        eye_a = eye_position(subscriber.position)
+        eye_b = eye_position(target.position)
+        direction = (eye_b - eye_a).with_z(0.0).normalized()
+        perp = Vec3(-direction.y, direction.x, 0.0) * 40.0
+        samples = (
+            (eye_a, eye_b),
+            (eye_a + perp, eye_b + perp),
+            (eye_a - perp, eye_b - perp),
+        )
+        return all(
+            not self.game_map.line_of_sight(a, b) for a, b in samples
+        )
+
+    def _cone_deviation(
+        self, subscriber: AvatarSnapshot, target: AvatarSnapshot
+    ) -> float:
+        """Distance-like metric from the target to the subscriber's cone."""
+        offset = target.position - subscriber.position
+        distance = offset.length()
+        radial_excess = max(0.0, distance - self.interest.vision_radius)
+        aim = Vec3.from_yaw(subscriber.yaw)
+        angle_excess = max(
+            0.0, aim.angle_to(offset) - self.interest.effective_half_angle
+        )
+        # Arc-length conversion puts the angular excess in world units.
+        return radial_excess + angle_excess * min(
+            distance, self.interest.vision_radius
+        )
+
+
+class RateVerifier:
+    """Proxy-side dissemination-rate monitoring.
+
+    Catches fast-rate cheats (more updates per window than the game can
+    generate), suppress-correct / escaping (long silences followed by a
+    burst), and look-ahead/time cheats (updates stamped with frames that
+    lag or lead the wall-clock frame beyond plausible network delay).
+    """
+
+    def __init__(
+        self,
+        expected_interval_frames: int = 1,
+        window_frames: int = 40,
+        silence_allowance_frames: int = 8,
+        skew_allowance_frames: int = 6,
+    ):
+        self.expected_interval = expected_interval_frames
+        self.window = window_frames
+        self.silence_allowance = silence_allowance_frames
+        self.skew_allowance = skew_allowance_frames
+        self._arrivals: dict[int, list[int]] = {}  # subject -> stamped frames
+        self._arrival_wallclock: dict[int, list[int]] = {}
+        self._first_arrival: dict[int, int] = {}
+
+    def observe(
+        self,
+        verifier_id: int,
+        subject_id: int,
+        stamped_frame: int,
+        wallclock_frame: int,
+        confidence: float,
+    ) -> list[CheatRating]:
+        """Feed one arrival; returns zero or more rate-family ratings."""
+        stamps = self._arrivals.setdefault(subject_id, [])
+        walls = self._arrival_wallclock.setdefault(subject_id, [])
+        # A long interruption means the stream (tenure) restarted: deficit
+        # accounting must restart with it, or a re-elected proxy flags the
+        # warm-up of a perfectly healthy stream.  The interruption itself
+        # is the silence check's job.
+        if not walls or wallclock_frame - walls[-1] > self.silence_allowance * 2:
+            self._first_arrival[subject_id] = wallclock_frame
+        else:
+            self._first_arrival.setdefault(subject_id, wallclock_frame)
+        stamps.append(stamped_frame)
+        walls.append(wallclock_frame)
+        cutoff = wallclock_frame - self.window
+        while walls and walls[0] < cutoff:
+            walls.pop(0)
+            stamps.pop(0)
+
+        ratings: list[CheatRating] = []
+
+        # Deficit: too FEW updates over a half-window — a blind-opponent
+        # cheat thins the stream without ever leaving a long single gap.
+        deficit_window = max(2, self.window // 2)
+        first = self._first_arrival[subject_id]
+        if wallclock_frame - first >= deficit_window:
+            recent = sum(
+                1 for w in walls if w > wallclock_frame - deficit_window
+            )
+            expected = deficit_window // self.expected_interval
+            allowed_deficit = max(2.0, expected * 0.2)  # loss/jitter slack
+            deficit = float(expected - recent)
+            if deficit > allowed_deficit:
+                ratings.append(
+                    CheatRating(
+                        verifier_id=verifier_id,
+                        subject_id=subject_id,
+                        frame=wallclock_frame,
+                        check=CheckKind.RATE,
+                        rating=rating_from_deviation(deficit, allowed_deficit),
+                        confidence=confidence,
+                        deviation=deficit,
+                        detail=(
+                            f"only {recent} of ~{expected} expected updates in "
+                            f"{deficit_window} frames"
+                        ),
+                    )
+                )
+
+        # Fast-rate: more arrivals in the window than frames allow.
+        expected_max = self.window // self.expected_interval + 2
+        if len(walls) > expected_max:
+            rating = rating_from_deviation(float(len(walls)), float(expected_max))
+            ratings.append(
+                CheatRating(
+                    verifier_id=verifier_id,
+                    subject_id=subject_id,
+                    frame=wallclock_frame,
+                    check=CheckKind.RATE,
+                    rating=rating,
+                    confidence=confidence,
+                    deviation=float(len(walls)),
+                    detail=f"{len(walls)} updates in {self.window} frames",
+                )
+            )
+
+        # Time skew: stamped frame far from arrival frame (look-ahead delays
+        # or future-stamped updates).
+        skew = abs(wallclock_frame - stamped_frame)
+        if skew > self.skew_allowance:
+            ratings.append(
+                CheatRating(
+                    verifier_id=verifier_id,
+                    subject_id=subject_id,
+                    frame=wallclock_frame,
+                    check=CheckKind.RATE,
+                    rating=rating_from_deviation(
+                        float(skew), float(self.skew_allowance)
+                    ),
+                    confidence=confidence,
+                    deviation=float(skew),
+                    detail=f"update stamped {stamped_frame} arrived at {wallclock_frame}",
+                )
+            )
+
+        # Silence: a gap between consecutive stamps beyond the allowance —
+        # suppress-correct, blind-opponent or escaping behaviour.
+        if len(stamps) >= 2:
+            gap = stamps[-1] - stamps[-2]
+            if gap > self.silence_allowance:
+                ratings.append(
+                    CheatRating(
+                        verifier_id=verifier_id,
+                        subject_id=subject_id,
+                        frame=wallclock_frame,
+                        check=CheckKind.RATE,
+                        rating=rating_from_deviation(
+                            float(gap), float(self.silence_allowance)
+                        ),
+                        confidence=confidence,
+                        deviation=float(gap),
+                        detail=f"silent for {gap} frames then resumed",
+                    )
+                )
+        return ratings
+
+    def last_arrival_wallclock(self, subject_id: int) -> int | None:
+        """Wallclock frame of the subject's most recent arrival, if any."""
+        walls = self._arrival_wallclock.get(subject_id)
+        return walls[-1] if walls else None
+
+    def check_silence(
+        self,
+        verifier_id: int,
+        subject_id: int,
+        wallclock_frame: int,
+        confidence: float,
+        not_before_frame: int = 0,
+    ) -> CheatRating | None:
+        """Poll for ongoing silence (escaping detection without a new arrival).
+
+        ``not_before_frame`` lets a freshly (re-)elected proxy ignore stamps
+        that predate its tenure.
+        """
+        stamps = self._arrivals.get(subject_id)
+        if not stamps:
+            return None
+        walls = self._arrival_wallclock.get(subject_id)
+        if walls and walls[-1] < not_before_frame:
+            return None
+        gap = wallclock_frame - stamps[-1]
+        if gap <= self.silence_allowance * 2:
+            return None
+        return CheatRating(
+            verifier_id=verifier_id,
+            subject_id=subject_id,
+            frame=wallclock_frame,
+            check=CheckKind.RATE,
+            rating=rating_from_deviation(
+                float(gap), float(self.silence_allowance)
+            ),
+            confidence=confidence,
+            deviation=float(gap),
+            detail=f"no update for {gap} frames (escaping?)",
+        )
+
+    def forget(self, subject_id: int) -> None:
+        self._arrivals.pop(subject_id, None)
+        self._arrival_wallclock.pop(subject_id, None)
+        self._first_arrival.pop(subject_id, None)

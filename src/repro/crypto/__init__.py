@@ -1,0 +1,22 @@
+"""Cryptographic substrate: verifiable PRNG and message signatures."""
+
+from repro.crypto.prng import VerifiablePrng, draw_uint
+from repro.crypto.signatures import (
+    HmacKeyRegistry,
+    HmacSigner,
+    SchnorrKeyPair,
+    SchnorrSigner,
+    Signature,
+    SigningError,
+)
+
+__all__ = [
+    "HmacKeyRegistry",
+    "HmacSigner",
+    "SchnorrKeyPair",
+    "SchnorrSigner",
+    "Signature",
+    "SigningError",
+    "VerifiablePrng",
+    "draw_uint",
+]

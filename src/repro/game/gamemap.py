@@ -1,0 +1,423 @@
+"""Game-world geometry: maps, occluders, items and spawn points.
+
+The paper evaluates on Quake III's ``q3dm17`` ("The Longest Yard") — a
+deathmatch map made of floating platforms connected by jump pads, with
+weapons / armor / health concentrated on a few platforms.  That item and
+platform layout is what produces the strongly non-uniform presence heatmap
+of Figure 1 and the attention dynamics the subscription model relies on.
+
+We model maps in 2.5-D: the world is a box; solid geometry is a set of
+axis-aligned boxes (``Box``) that act both as *floors* (avatars stand on
+their top faces) and *occluders* (they block line of sight).  This is
+enough to reproduce occlusion-culled vision sets ("avatars behind a wall do
+not appear in the vision set"), the potentially-visible-set baseline, and
+hotspot formation around items.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.game.vector import Vec3
+
+__all__ = [
+    "Box",
+    "ItemSpec",
+    "ItemKind",
+    "GameMap",
+    "make_longest_yard",
+    "make_arena",
+    "make_corridors",
+]
+
+
+class ItemKind:
+    """Item categories placed on maps (mirrors the Figure 1 legend)."""
+
+    HEALTH = "health"
+    AMMO = "ammo"
+    WEAPON = "weapon"
+    ARMOR = "armor"
+    POWERUP = "powerup"
+
+    ALL = (HEALTH, AMMO, WEAPON, ARMOR, POWERUP)
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """An axis-aligned solid box: floor for avatars, occluder for sight."""
+
+    min_corner: Vec3
+    max_corner: Vec3
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if (
+            self.min_corner.x > self.max_corner.x
+            or self.min_corner.y > self.max_corner.y
+            or self.min_corner.z > self.max_corner.z
+        ):
+            raise ValueError(f"degenerate box {self.name!r}")
+
+    @property
+    def top(self) -> float:
+        return self.max_corner.z
+
+    @property
+    def center(self) -> Vec3:
+        return (self.min_corner + self.max_corner) * 0.5
+
+    def contains_xy(self, point: Vec3, margin: float = 0.0) -> bool:
+        """Is the XY projection of ``point`` over this box (with margin)?"""
+        return (
+            self.min_corner.x - margin <= point.x <= self.max_corner.x + margin
+            and self.min_corner.y - margin <= point.y <= self.max_corner.y + margin
+        )
+
+    def contains(self, point: Vec3) -> bool:
+        return (
+            self.min_corner.x <= point.x <= self.max_corner.x
+            and self.min_corner.y <= point.y <= self.max_corner.y
+            and self.min_corner.z <= point.z <= self.max_corner.z
+        )
+
+    def intersects_segment(self, start: Vec3, end: Vec3) -> bool:
+        """Slab test: does the segment [start, end] pass through the box?
+
+        Used for occlusion: a sight line is blocked if it crosses any solid
+        box.  Endpoints that merely touch the surface do not count as a
+        crossing (an avatar standing *on* a platform can still be seen).
+        """
+        direction = end - start
+        t_enter, t_exit = 0.0, 1.0
+        surface_epsilon = 1e-6  # rays sliding exactly on a face don't block
+        for axis in range(3):
+            d = (direction.x, direction.y, direction.z)[axis]
+            s = (start.x, start.y, start.z)[axis]
+            lo = (self.min_corner.x, self.min_corner.y, self.min_corner.z)[axis]
+            hi = (self.max_corner.x, self.max_corner.y, self.max_corner.z)[axis]
+            lo += surface_epsilon
+            hi -= surface_epsilon
+            if abs(d) < 1e-12:
+                if s < lo or s > hi:
+                    return False
+                continue
+            t1 = (lo - s) / d
+            t2 = (hi - s) / d
+            if t1 > t2:
+                t1, t2 = t2, t1
+            t_enter = max(t_enter, t1)
+            t_exit = min(t_exit, t2)
+            if t_enter > t_exit:
+                return False
+        # Require a real interior crossing, not a surface graze.
+        return (t_exit - t_enter) > 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class ItemSpec:
+    """A pickup placed at a fixed map location, respawning after pickup."""
+
+    kind: str
+    position: Vec3
+    respawn_frames: int = 400  # 20 s at 50 ms frames, Quake-like
+    amount: int = 25
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ItemKind.ALL:
+            raise ValueError(f"unknown item kind {self.kind!r}")
+        if self.respawn_frames <= 0:
+            raise ValueError("respawn_frames must be positive")
+
+
+@dataclass
+class GameMap:
+    """A deathmatch map: bounds, solid geometry, items and respawn points."""
+
+    name: str
+    bounds_min: Vec3
+    bounds_max: Vec3
+    solids: list[Box] = field(default_factory=list)
+    items: list[ItemSpec] = field(default_factory=list)
+    respawn_points: list[Vec3] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.respawn_points:
+            raise ValueError("a map needs at least one respawn point")
+        for point in self.respawn_points:
+            if not self.in_bounds(point):
+                raise ValueError(f"respawn point {point} outside map bounds")
+
+    # ---- queries ----------------------------------------------------------
+
+    def in_bounds(self, point: Vec3) -> bool:
+        return (
+            self.bounds_min.x <= point.x <= self.bounds_max.x
+            and self.bounds_min.y <= point.y <= self.bounds_max.y
+            and self.bounds_min.z <= point.z <= self.bounds_max.z
+        )
+
+    def clamp_to_bounds(self, point: Vec3) -> Vec3:
+        return Vec3(
+            min(max(point.x, self.bounds_min.x), self.bounds_max.x),
+            min(max(point.y, self.bounds_min.y), self.bounds_max.y),
+            min(max(point.z, self.bounds_min.z), self.bounds_max.z),
+        )
+
+    def floor_height(self, point: Vec3) -> float | None:
+        """Top of the highest solid under ``point``'s XY, or None (void)."""
+        best: float | None = None
+        for box in self.solids:
+            if box.contains_xy(point) and (best is None or box.top > best):
+                best = box.top
+        return best
+
+    def line_of_sight(self, eye: Vec3, target: Vec3) -> bool:
+        """True when no solid blocks the segment between the two points.
+
+        This is the occlusion test behind the vision set: avatars "in a
+        player's vision range, but behind a wall do not appear in his
+        vision set".
+        """
+        for box in self.solids:
+            if box.contains(eye) or box.contains(target):
+                continue
+            if box.intersects_segment(eye, target):
+                return False
+        return True
+
+    def nearest_respawn(self, point: Vec3) -> Vec3:
+        return min(self.respawn_points, key=lambda p: p.distance_to(point))
+
+    def item_positions(self, kind: str | None = None) -> list[Vec3]:
+        return [i.position for i in self.items if kind is None or i.kind == kind]
+
+
+# --------------------------------------------------------------------------
+# Built-in maps
+# --------------------------------------------------------------------------
+
+_EYE_HEIGHT = 48.0  # Quake-ish view height above the standing surface
+
+
+def _platform(cx: float, cy: float, half: float, top: float, name: str) -> Box:
+    """A square platform of half-width ``half`` whose top face is at ``top``."""
+    return Box(
+        Vec3(cx - half, cy - half, top - 64.0),
+        Vec3(cx + half, cy + half, top),
+        name=name,
+    )
+
+
+def make_longest_yard(seed_layout: int = 0) -> GameMap:
+    """A q3dm17-like map: floating platforms, central rail platform, items.
+
+    The layout follows the structure of "The Longest Yard": a large central
+    platform holding the railgun and mega-health (the Figure 1 hotspot), a
+    ring of satellite platforms with weapons/armor/ammo, and elevated sniper
+    ledges.  Platforms are separated by void; bots travel between them along
+    waypoint hops (jump pads in the original).
+
+    ``seed_layout`` perturbs nothing today; it is accepted so that future
+    map variants can be derived deterministically.
+    """
+    del seed_layout  # single canonical layout, parameter reserved
+    solids: list[Box] = []
+    items: list[ItemSpec] = []
+    respawns: list[Vec3] = []
+
+    # Central platform — the famous rail/mega hotspot.
+    center = _platform(0.0, 0.0, 420.0, 0.0, "central")
+    solids.append(center)
+    items.append(ItemSpec(ItemKind.WEAPON, Vec3(0.0, 0.0, 0.0), 200, 1, "railgun"))
+    items.append(ItemSpec(ItemKind.HEALTH, Vec3(140.0, 0.0, 0.0), 700, 100, "mega"))
+    items.append(ItemSpec(ItemKind.AMMO, Vec3(-160.0, 120.0, 0.0), 300, 10, "slugs"))
+
+    # Ring of six satellite platforms.
+    ring_radius = 1100.0
+    satellite_items = [
+        (ItemKind.ARMOR, 500, 50, "red-armor"),
+        (ItemKind.WEAPON, 250, 1, "rocket-launcher"),
+        (ItemKind.HEALTH, 300, 25, "health-25"),
+        (ItemKind.AMMO, 250, 10, "rockets"),
+        (ItemKind.WEAPON, 250, 1, "lightning-gun"),
+        (ItemKind.ARMOR, 400, 25, "yellow-armor"),
+    ]
+    for index, (kind, respawn, amount, name) in enumerate(satellite_items):
+        angle = 2.0 * math.pi * index / len(satellite_items)
+        cx = ring_radius * math.cos(angle)
+        cy = ring_radius * math.sin(angle)
+        solids.append(_platform(cx, cy, 240.0, 64.0, f"satellite-{index}"))
+        items.append(ItemSpec(kind, Vec3(cx, cy, 64.0), respawn, amount, name))
+        respawns.append(Vec3(cx + 80.0, cy + 80.0, 64.0))
+
+    # Two elevated sniper ledges with powerups, plus occluding pillars on the
+    # central platform (they create the behind-a-wall cases for the VS test).
+    for sign, tag in ((1.0, "north"), (-1.0, "south")):
+        lx, ly = 0.0, sign * 1700.0
+        solids.append(_platform(lx, ly, 180.0, 256.0, f"ledge-{tag}"))
+        items.append(
+            ItemSpec(ItemKind.POWERUP, Vec3(lx, ly, 256.0), 900, 1, f"quad-{tag}")
+        )
+        respawns.append(Vec3(lx - 60.0, ly - sign * 60.0, 256.0))
+    for sign in (1.0, -1.0):
+        solids.append(
+            Box(
+                Vec3(sign * 260.0 - 40.0, -40.0, 0.0),
+                Vec3(sign * 260.0 + 40.0, 40.0, 160.0),
+                name=f"pillar-{'east' if sign > 0 else 'west'}",
+            )
+        )
+
+    respawns.append(Vec3(0.0, 320.0, 0.0))
+    respawns.append(Vec3(0.0, -320.0, 0.0))
+
+    return GameMap(
+        name="longest-yard",
+        bounds_min=Vec3(-2200.0, -2200.0, -512.0),
+        bounds_max=Vec3(2200.0, 2200.0, 768.0),
+        solids=solids,
+        items=items,
+        respawn_points=respawns,
+    )
+
+
+def make_arena(side: float = 2000.0, pillars: int = 4) -> GameMap:
+    """A simple flat arena with occluding pillars — a fast unit-test map."""
+    if side <= 200.0:
+        raise ValueError("arena side too small")
+    half = side / 2.0
+    solids = [
+        Box(Vec3(-half, -half, -64.0), Vec3(half, half, 0.0), name="floor"),
+    ]
+    items: list[ItemSpec] = []
+    respawns: list[Vec3] = []
+    for index in range(max(0, pillars)):
+        angle = 2.0 * math.pi * index / max(1, pillars)
+        cx, cy = half * 0.45 * math.cos(angle), half * 0.45 * math.sin(angle)
+        solids.append(
+            Box(
+                Vec3(cx - 60.0, cy - 60.0, 0.0),
+                Vec3(cx + 60.0, cy + 60.0, 200.0),
+                name=f"pillar-{index}",
+            )
+        )
+        items.append(
+            ItemSpec(
+                ItemKind.HEALTH if index % 2 == 0 else ItemKind.AMMO,
+                Vec3(cx + 120.0, cy, 0.0),
+                300,
+                25,
+                f"item-{index}",
+            )
+        )
+    for corner_x in (-0.8, 0.8):
+        for corner_y in (-0.8, 0.8):
+            respawns.append(Vec3(half * corner_x, half * corner_y, 0.0))
+    items.append(ItemSpec(ItemKind.WEAPON, Vec3(0.0, 0.0, 0.0), 250, 1, "center-gun"))
+    return GameMap(
+        name="arena",
+        bounds_min=Vec3(-half, -half, -128.0),
+        bounds_max=Vec3(half, half, 512.0),
+        solids=solids,
+        items=items,
+        respawn_points=respawns,
+    )
+
+
+def make_corridors(lanes: int = 3, lane_width: float = 300.0,
+                   length: float = 3200.0) -> GameMap:
+    """A corridor map: long parallel lanes with doorways — heavy occlusion.
+
+    The opposite visibility regime from the open longest-yard: sight lines
+    are short and interrupted, so vision sets are small, interest sets are
+    stable ("this value can be slightly different for different maps"),
+    and most players sit in each other's Others set most of the time.
+    """
+    if lanes < 2:
+        raise ValueError("need at least two lanes")
+    if lane_width < 150.0 or length < 600.0:
+        raise ValueError("corridor dimensions too small")
+    half_len = length / 2.0
+    total_width = lanes * lane_width
+    half_wid = total_width / 2.0
+    wall_thickness = 24.0
+    wall_height = 200.0
+
+    solids: list[Box] = [
+        Box(
+            Vec3(-half_len, -half_wid, -64.0),
+            Vec3(half_len, half_wid, 0.0),
+            name="floor",
+        )
+    ]
+    items: list[ItemSpec] = []
+    respawns: list[Vec3] = []
+
+    # Inner walls between lanes, pierced by three doorways each.
+    door_width = 140.0
+    door_xs = (-half_len * 0.5, 0.0, half_len * 0.5)
+    for wall_index in range(1, lanes):
+        wall_y = -half_wid + wall_index * lane_width
+        segment_edges = [-half_len]
+        for door_x in door_xs:
+            segment_edges.extend([door_x - door_width / 2, door_x + door_width / 2])
+        segment_edges.append(half_len)
+        for seg in range(0, len(segment_edges) - 1, 2):
+            x0, x1 = segment_edges[seg], segment_edges[seg + 1]
+            if x1 - x0 < 1.0:
+                continue
+            solids.append(
+                Box(
+                    Vec3(x0, wall_y - wall_thickness / 2, 0.0),
+                    Vec3(x1, wall_y + wall_thickness / 2, wall_height),
+                    name=f"wall-{wall_index}-{seg // 2}",
+                )
+            )
+
+    # Items: weapons at lane centres, health/ammo at the ends.
+    lane_kinds = [ItemKind.WEAPON, ItemKind.ARMOR, ItemKind.POWERUP]
+    lane_names = ["railgun", "red-armor", "quad-corridor"]
+    for lane in range(lanes):
+        lane_y = -half_wid + (lane + 0.5) * lane_width
+        kind = lane_kinds[lane % len(lane_kinds)]
+        name = lane_names[lane % len(lane_names)]
+        items.append(
+            ItemSpec(kind, Vec3(0.0, lane_y, 0.0), 300, 50, f"{name}-{lane}")
+        )
+        items.append(
+            ItemSpec(
+                ItemKind.HEALTH,
+                Vec3(-half_len + 160.0, lane_y, 0.0),
+                300,
+                25,
+                f"health-{lane}",
+            )
+        )
+        items.append(
+            ItemSpec(
+                ItemKind.AMMO,
+                Vec3(half_len - 160.0, lane_y, 0.0),
+                250,
+                10,
+                f"ammo-{lane}",
+            )
+        )
+        respawns.append(Vec3(-half_len + 240.0, lane_y, 0.0))
+        respawns.append(Vec3(half_len - 240.0, lane_y, 0.0))
+
+    return GameMap(
+        name="corridors",
+        bounds_min=Vec3(-half_len, -half_wid, -128.0),
+        bounds_max=Vec3(half_len, half_wid, 512.0),
+        solids=solids,
+        items=items,
+        respawn_points=respawns,
+    )
+
+
+def eye_position(feet: Vec3) -> Vec3:
+    """The camera position for an avatar standing at ``feet``."""
+    return feet.with_z(feet.z + _EYE_HEIGHT)

@@ -1,0 +1,203 @@
+"""Interest management: vision cones, attention metric, IS/VS/Others.
+
+This implements Section III-A of the paper (Figure 2):
+
+- **Vision Set (VS)** — avatars inside a spherical cone centred on the
+  avatar's aim (±60° in Quake III), made *slightly larger* than the actual
+  field of view to survive rapid spins, and occlusion-culled against map
+  geometry ("avatars ... behind a wall do not appear in his vision set").
+- **Interest Set (IS)** — the top-5 avatars of the VS by an attention
+  metric combining proximity, aim and interaction recency (Donnybrook's
+  metric).  IS members are removed from the VS.
+- **Others** — everyone else; they only ever yield 1 Hz position updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.game.avatar import AvatarSnapshot
+from repro.game.gamemap import GameMap, eye_position
+from repro.game.vector import Vec3
+
+__all__ = [
+    "InterestConfig",
+    "SetKind",
+    "InterestSets",
+    "attention_score",
+    "in_vision_cone",
+    "compute_sets",
+    "InteractionRecency",
+]
+
+
+class SetKind:
+    """The three subscription classes of the Watchmen model."""
+
+    INTEREST = "IS"
+    VISION = "VS"
+    OTHER = "OTHER"
+
+    ALL = (INTEREST, VISION, OTHER)
+
+
+@dataclass(frozen=True, slots=True)
+class InterestConfig:
+    """Tunables of the subscription model (paper defaults)."""
+
+    vision_half_angle: float = math.radians(60.0)  # Quake III ±60°
+    vision_slack: float = math.radians(15.0)  # enlargement for fast spins
+    vision_radius: float = 2500.0
+    interest_size: int = 5  # "the size of the IS can be fixed (e.g., 5)"
+    recency_halflife_frames: int = 60  # interaction recency decay
+    proximity_scale: float = 800.0  # distance at which proximity ~ 0.5
+
+    def __post_init__(self) -> None:
+        if self.interest_size < 0:
+            raise ValueError("interest_size must be non-negative")
+        if not 0 < self.vision_half_angle <= math.pi:
+            raise ValueError("vision_half_angle out of range")
+
+    @property
+    def effective_half_angle(self) -> float:
+        return min(math.pi, self.vision_half_angle + self.vision_slack)
+
+
+@dataclass(frozen=True, slots=True)
+class InterestSets:
+    """One player's partition of all other players for one frame."""
+
+    player_id: int
+    frame: int
+    interest: frozenset[int]
+    vision: frozenset[int]
+    others: frozenset[int]
+
+    def kind_of(self, other_id: int) -> str:
+        if other_id in self.interest:
+            return SetKind.INTEREST
+        if other_id in self.vision:
+            return SetKind.VISION
+        return SetKind.OTHER
+
+    def all_ids(self) -> frozenset[int]:
+        return self.interest | self.vision | self.others
+
+
+class InteractionRecency:
+    """Tracks the last frame each pair of players interacted (shot/damage).
+
+    The attention metric uses "interaction recency": a player who just shot
+    at you (or you at him) stays interesting for a while even if he moves
+    away or behind you.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[tuple[int, int], int] = {}
+
+    def record(self, a: int, b: int, frame: int) -> None:
+        """Record an interaction between players ``a`` and ``b`` at ``frame``."""
+        key = (a, b) if a <= b else (b, a)
+        self._last[key] = frame
+
+    def frames_since(self, a: int, b: int, frame: int) -> int | None:
+        key = (a, b) if a <= b else (b, a)
+        last = self._last.get(key)
+        if last is None or last > frame:
+            return None
+        return frame - last
+
+    def score(self, a: int, b: int, frame: int, halflife: int) -> float:
+        """Exponentially decayed recency in [0, 1]."""
+        since = self.frames_since(a, b, frame)
+        if since is None:
+            return 0.0
+        return 0.5 ** (since / max(1, halflife))
+
+
+def in_vision_cone(
+    observer: AvatarSnapshot,
+    target: AvatarSnapshot,
+    config: InterestConfig,
+    slack: bool = True,
+) -> bool:
+    """Is ``target`` inside ``observer``'s (possibly enlarged) vision cone?"""
+    to_target = eye_position(target.position) - eye_position(observer.position)
+    distance = to_target.length()
+    if distance > config.vision_radius or distance == 0.0:
+        return False
+    aim = Vec3.from_yaw(observer.yaw)
+    half_angle = config.effective_half_angle if slack else config.vision_half_angle
+    return aim.angle_to(to_target) <= half_angle
+
+
+def attention_score(
+    observer: AvatarSnapshot,
+    target: AvatarSnapshot,
+    frame: int,
+    config: InterestConfig,
+    recency: InteractionRecency | None = None,
+) -> float:
+    """Donnybrook-style attention: proximity + aim + interaction recency."""
+    offset = target.position - observer.position
+    distance = offset.length()
+    proximity = 1.0 / (1.0 + distance / config.proximity_scale)
+    aim_error = Vec3.from_yaw(observer.yaw).angle_to(offset.with_z(0.0))
+    aim = max(0.0, 1.0 - aim_error / math.pi)
+    recent = 0.0
+    if recency is not None:
+        recent = recency.score(
+            observer.player_id, target.player_id, frame, config.recency_halflife_frames
+        )
+    return proximity + aim + recent
+
+
+def compute_sets(
+    observer: AvatarSnapshot,
+    everyone: dict[int, AvatarSnapshot],
+    game_map: GameMap,
+    frame: int,
+    config: InterestConfig | None = None,
+    recency: InteractionRecency | None = None,
+) -> InterestSets:
+    """Partition all other players into IS / VS / Others for ``observer``.
+
+    Only avatars in the vision set are IS candidates ("preventing the player
+    to obtain frequent and accurate information about avatars he cannot
+    see"), and IS members are removed from the VS ("automatically removed
+    from its vision set").
+    """
+    config = config or InterestConfig()
+    visible: list[int] = []
+    others: set[int] = set()
+    observer_eye = eye_position(observer.position)
+    for other_id, snap in everyone.items():
+        if other_id == observer.player_id:
+            continue
+        if not snap.alive:
+            others.add(other_id)
+            continue
+        if in_vision_cone(observer, snap, config) and game_map.line_of_sight(
+            observer_eye, eye_position(snap.position)
+        ):
+            visible.append(other_id)
+        else:
+            others.add(other_id)
+
+    scored = sorted(
+        visible,
+        key=lambda oid: attention_score(
+            observer, everyone[oid], frame, config, recency
+        ),
+        reverse=True,
+    )
+    interest = frozenset(scored[: config.interest_size])
+    vision = frozenset(oid for oid in visible if oid not in interest)
+    return InterestSets(
+        player_id=observer.player_id,
+        frame=frame,
+        interest=interest,
+        vision=vision,
+        others=frozenset(others),
+    )

@@ -1,0 +1,115 @@
+"""Item lifecycle: pickups and respawn timers.
+
+Items are what makes presence non-uniform (Figure 1): bots and humans
+gravitate to platforms holding weapons, armor and the mega-health, so those
+regions show "exponential presence".  The :class:`ItemManager` tracks which
+items are currently on the map and applies pickups to avatar state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.game.avatar import MAX_ARMOR, AvatarState
+from repro.game.gamemap import GameMap, ItemKind, ItemSpec
+from repro.game.vector import Vec3
+
+__all__ = ["ItemInstance", "PickupEvent", "ItemManager"]
+
+PICKUP_RADIUS = 48.0
+
+
+@dataclass
+class ItemInstance:
+    """One item slot on the map: its spec plus availability state."""
+
+    spec: ItemSpec
+    available: bool = True
+    respawn_frame: int = 0  # frame at which it becomes available again
+
+    def tick(self, frame: int) -> None:
+        if not self.available and frame >= self.respawn_frame:
+            self.available = True
+
+
+@dataclass(frozen=True, slots=True)
+class PickupEvent:
+    """Recorded whenever an avatar collects an item (traced for replay)."""
+
+    frame: int
+    player_id: int
+    item_name: str
+    item_kind: str
+    position: Vec3
+
+
+class ItemManager:
+    """Owns every item slot of a map and resolves pickups each frame."""
+
+    def __init__(self, game_map: GameMap):
+        self.game_map = game_map
+        self.instances = [ItemInstance(spec) for spec in game_map.items]
+
+    def tick(self, frame: int) -> None:
+        """Respawn items whose timers elapsed."""
+        for instance in self.instances:
+            instance.tick(frame)
+
+    def available_items(self) -> list[ItemInstance]:
+        return [i for i in self.instances if i.available]
+
+    def nearest_available(
+        self, position: Vec3, kind: str | None = None
+    ) -> ItemInstance | None:
+        """The closest live item (optionally of one kind), or None."""
+        candidates = [
+            i
+            for i in self.instances
+            if i.available and (kind is None or i.spec.kind == kind)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda i: i.spec.position.distance_to(position))
+
+    def try_pickups(self, avatar: AvatarState, frame: int) -> list[PickupEvent]:
+        """Collect every available item within reach of ``avatar``."""
+        if not avatar.alive:
+            return []
+        events: list[PickupEvent] = []
+        for instance in self.instances:
+            if not instance.available:
+                continue
+            if instance.spec.position.distance_to(avatar.position) > PICKUP_RADIUS:
+                continue
+            self._apply(instance.spec, avatar)
+            instance.available = False
+            instance.respawn_frame = frame + instance.spec.respawn_frames
+            events.append(
+                PickupEvent(
+                    frame=frame,
+                    player_id=avatar.player_id,
+                    item_name=instance.spec.name,
+                    item_kind=instance.spec.kind,
+                    position=instance.spec.position,
+                )
+            )
+        return events
+
+    @staticmethod
+    def _apply(spec: ItemSpec, avatar: AvatarState) -> None:
+        if spec.kind == ItemKind.HEALTH:
+            # Mega-health style items can push past the normal cap.
+            cap = 200 if spec.amount >= 100 else 100
+            avatar.heal(spec.amount, cap=cap)
+        elif spec.kind == ItemKind.ARMOR:
+            avatar.armor = min(MAX_ARMOR, avatar.armor + spec.amount)
+        elif spec.kind == ItemKind.AMMO:
+            avatar.ammo += spec.amount * 5
+        elif spec.kind == ItemKind.WEAPON:
+            avatar.weapon = spec.name
+            avatar.ammo += 20
+        elif spec.kind == ItemKind.POWERUP:
+            # Modelled as a large armor boost; enough for hotspot dynamics.
+            avatar.armor = MAX_ARMOR
+        else:  # pragma: no cover - ItemSpec validates kinds
+            raise ValueError(f"unknown item kind {spec.kind!r}")

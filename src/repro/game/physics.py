@@ -1,0 +1,232 @@
+"""Movement physics envelope: the rules verifiers check updates against.
+
+Watchmen verifies that "movements follow game physics (e.g., gravity,
+limited velocity, angular speed, permitted position)".  This module is the
+single source of truth for those rules — the simulator moves avatars with
+it, and the verification layer re-uses it to rate position updates, so an
+honest trace is physics-clean by construction and speed hacks are exactly
+the updates that violate it.
+
+Numbers follow Quake III: 320 u/s run speed, 800 u/s² gravity, 270 u/s jump
+velocity, 50 ms frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.game.gamemap import GameMap
+from repro.game.vector import Vec3, clamp
+
+__all__ = ["PhysicsConfig", "MoveIntent", "MoveResult", "Physics"]
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicsConfig:
+    """Tunable movement envelope (defaults match Quake III)."""
+
+    frame_seconds: float = 0.05
+    max_ground_speed: float = 320.0
+    max_air_speed: float = 360.0
+    gravity: float = 800.0
+    jump_velocity: float = 270.0
+    max_turn_rate: float = 12.0  # rad/s — human mouse flicks are fast
+    max_fall_speed: float = 900.0  # terminal velocity (air drag clamp)
+    step_height: float = 18.0
+    fall_damage_speed: float = 580.0  # vertical impact speed causing damage
+    fall_damage_per_speed: float = 0.05
+    void_z: float = -400.0  # below this an avatar falls out of the world
+
+    def __post_init__(self) -> None:
+        if self.frame_seconds <= 0:
+            raise ValueError("frame_seconds must be positive")
+        if self.max_ground_speed <= 0 or self.max_air_speed <= 0:
+            raise ValueError("speed caps must be positive")
+
+    @property
+    def max_frame_distance(self) -> float:
+        """The farthest an honest avatar can travel in one frame (any mode)."""
+        return max(self.max_ground_speed, self.max_air_speed) * self.frame_seconds
+
+
+@dataclass(frozen=True, slots=True)
+class MoveIntent:
+    """What a player asks his avatar to do in one frame."""
+
+    wish_direction: Vec3 = Vec3()  # desired horizontal direction (normalised)
+    wish_speed: float = 0.0  # desired horizontal speed, clamped by physics
+    jump: bool = False
+    yaw: float = 0.0  # desired view yaw after the frame
+
+
+@dataclass(frozen=True, slots=True)
+class MoveResult:
+    """Outcome of advancing an avatar's kinematics by one frame."""
+
+    position: Vec3
+    velocity: Vec3
+    yaw: float
+    on_ground: bool
+    fall_damage: int
+    fell_in_void: bool
+
+
+class Physics:
+    """Frame-step kinematics over a :class:`GameMap`."""
+
+    def __init__(self, game_map: GameMap, config: PhysicsConfig | None = None):
+        self.game_map = game_map
+        self.config = config or PhysicsConfig()
+
+    # ---- stepping ----------------------------------------------------------
+
+    def step(
+        self,
+        position: Vec3,
+        velocity: Vec3,
+        yaw: float,
+        intent: MoveIntent,
+    ) -> MoveResult:
+        """Advance one frame of kinematics, honouring every rule verifiers use."""
+        cfg = self.config
+        dt = cfg.frame_seconds
+
+        floor = self.game_map.floor_height(position)
+        on_ground = floor is not None and position.z <= floor + 0.5
+
+        # Horizontal control: full control on ground, reduced in the air.
+        speed_cap = cfg.max_ground_speed if on_ground else cfg.max_air_speed
+        wish_speed = clamp(intent.wish_speed, 0.0, speed_cap)
+        wish = intent.wish_direction.with_z(0.0).normalized() * wish_speed
+        if on_ground:
+            horizontal = wish
+        else:
+            current = velocity.with_z(0.0)
+            horizontal = current.lerp(wish, 0.15)  # limited air control
+            if horizontal.horizontal_length() > cfg.max_air_speed:
+                horizontal = horizontal.normalized() * cfg.max_air_speed
+
+        # Vertical: jumps and gravity.
+        vz = velocity.z
+        if on_ground:
+            vz = cfg.jump_velocity if intent.jump else 0.0
+        vz = max(vz - cfg.gravity * dt, -cfg.max_fall_speed)
+
+        new_velocity = Vec3(horizontal.x, horizontal.y, vz)
+        new_position = position + new_velocity * dt
+        new_position = self.game_map.clamp_to_bounds(new_position)
+
+        # Walls: moving laterally into a solid whose top is more than a
+        # step above us blocks the horizontal motion (no climbing pillars).
+        target_floor = self.game_map.floor_height(new_position)
+        if (
+            target_floor is not None
+            and target_floor > position.z + cfg.step_height
+            and new_position.z < target_floor
+        ):
+            new_velocity = Vec3(0.0, 0.0, vz)
+            new_position = Vec3(position.x, position.y, position.z + vz * dt)
+            new_position = self.game_map.clamp_to_bounds(new_position)
+
+        # Land on floors (with step-up tolerance).
+        fall_damage = 0
+        landed_floor = self.game_map.floor_height(new_position)
+        if landed_floor is not None and new_position.z <= landed_floor:
+            impact = max(0.0, -new_velocity.z)
+            if impact > cfg.fall_damage_speed:
+                fall_damage = int(
+                    (impact - cfg.fall_damage_speed) * cfg.fall_damage_per_speed
+                )
+            new_position = new_position.with_z(landed_floor)
+            new_velocity = new_velocity.with_z(0.0)
+            grounded = True
+        else:
+            grounded = False
+
+        # Turn-rate limit.
+        new_yaw = self._turn_towards(yaw, intent.yaw, cfg.max_turn_rate * dt)
+
+        fell = new_position.z < cfg.void_z
+        return MoveResult(
+            position=new_position,
+            velocity=new_velocity,
+            yaw=new_yaw,
+            on_ground=grounded,
+            fall_damage=fall_damage,
+            fell_in_void=fell,
+        )
+
+    @staticmethod
+    def _turn_towards(current: float, target: float, max_delta: float) -> float:
+        """Rotate ``current`` towards ``target`` by at most ``max_delta`` rad."""
+        import math
+
+        delta = (target - current + math.pi) % (2.0 * math.pi) - math.pi
+        delta = clamp(delta, -max_delta, max_delta)
+        result = current + delta
+        return (result + math.pi) % (2.0 * math.pi) - math.pi
+
+    # ---- legality checks (shared with repro.core.verification) -------------
+
+    def max_horizontal_travel(self, frames: int) -> float:
+        """Maximum legal horizontal displacement across ``frames`` frames."""
+        if frames < 0:
+            raise ValueError("frames must be non-negative")
+        return self.config.max_frame_distance * frames
+
+    def max_descent(self, frames: int) -> float:
+        """Maximum legal drop: terminal velocity the whole time."""
+        if frames < 0:
+            raise ValueError("frames must be non-negative")
+        return self.config.max_fall_speed * self.config.frame_seconds * frames
+
+    def max_ascent(self, frames: int) -> float:
+        """Maximum legal rise: repeated jumps (plus step-ups)."""
+        if frames < 0:
+            raise ValueError("frames must be non-negative")
+        dt = self.config.frame_seconds
+        return (self.config.jump_velocity * dt + self.config.step_height) * frames
+
+    def max_travel(self, frames: int) -> float:
+        """Maximum legal total displacement across ``frames`` frames."""
+        horizontal = self.max_horizontal_travel(frames)
+        vertical = max(self.max_descent(frames), self.max_ascent(frames))
+        return (horizontal * horizontal + vertical * vertical) ** 0.5
+
+    def displacement_excess(self, start: Vec3, end: Vec3, frames: int) -> float:
+        """How far beyond the physics envelope a displacement is (in units).
+
+        Checked component-wise — "gravity, limited velocity" are separate
+        rules — so a 2× horizontal speed hack cannot hide inside the
+        free-fall vertical allowance.  Returns 0 for legal movement.
+        """
+        if frames <= 0:
+            return start.distance_to(end)
+        offset = end - start
+        horizontal_excess = max(
+            0.0, offset.horizontal_length() - self.max_horizontal_travel(frames)
+        )
+        if offset.z >= 0:
+            vertical_excess = max(0.0, offset.z - self.max_ascent(frames))
+        else:
+            vertical_excess = max(0.0, -offset.z - self.max_descent(frames))
+        return max(horizontal_excess, vertical_excess)
+
+    def displacement_is_legal(
+        self, start: Vec3, end: Vec3, frames: int, tolerance: float = 1.05
+    ) -> bool:
+        """Could an honest avatar have moved ``start``→``end`` in ``frames``?
+
+        ``tolerance`` absorbs wire quantization and frame phase (honest
+        updates must never be flagged; this is the FP≤5 % side of Fig. 6).
+        """
+        if frames <= 0:
+            return start.distance_to(end) < 1.0
+        allowance = self.max_horizontal_travel(frames) * (tolerance - 1.0)
+        return self.displacement_excess(start, end, frames) <= allowance
+
+    def speed_of(self, start: Vec3, end: Vec3, frames: int) -> float:
+        """Implied average speed (u/s) for the displacement."""
+        if frames <= 0:
+            return 0.0
+        return start.distance_to(end) / (frames * self.config.frame_seconds)

@@ -1,0 +1,121 @@
+"""Weapons: the interaction substrate behind hit/kill claims.
+
+Kill-claim verification in Watchmen checks "the type of weapon, the
+distance, the visibility, and how long the attacker had the target in his
+IS".  That requires weapons with distinct ranges, damages and firing rates,
+plus a deterministic hit-resolution procedure both the simulator and the
+verifiers share.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.game.gamemap import GameMap, eye_position
+from repro.game.vector import Vec3
+
+__all__ = ["WeaponSpec", "WEAPONS", "ShotOutcome", "resolve_shot", "hit_probability"]
+
+
+@dataclass(frozen=True, slots=True)
+class WeaponSpec:
+    """Static parameters of one weapon class."""
+
+    name: str
+    damage: int
+    effective_range: float  # beyond this a hit claim is implausible
+    refire_frames: int  # minimum frames between two shots
+    projectile_speed: float | None  # None => hitscan (instant)
+    spread: float  # radians of aim cone giving a hit chance
+    ammo_per_shot: int = 1
+
+    def __post_init__(self) -> None:
+        if self.damage <= 0 or self.effective_range <= 0 or self.refire_frames <= 0:
+            raise ValueError(f"bad weapon spec {self.name!r}")
+
+
+#: The weapon table, Quake-III-flavoured.  ``machinegun`` is the spawn weapon.
+WEAPONS: dict[str, WeaponSpec] = {
+    spec.name: spec
+    for spec in (
+        WeaponSpec("machinegun", 7, 1600.0, 2, None, 0.035),
+        WeaponSpec("shotgun", 60, 500.0, 20, None, 0.12),
+        WeaponSpec("rocket-launcher", 100, 1400.0, 16, 900.0, 0.02),
+        WeaponSpec("lightning-gun", 8, 768.0, 1, None, 0.03),
+        WeaponSpec("railgun", 100, 3000.0, 30, None, 0.008),
+    )
+}
+
+AVATAR_HIT_RADIUS = 24.0  # bounding-cylinder radius used for hit tests
+
+
+@dataclass(frozen=True, slots=True)
+class ShotOutcome:
+    """Result of resolving one shot against one target."""
+
+    hit: bool
+    damage: int
+    distance: float
+    visible: bool
+    aim_error: float  # radians between aim and the target direction
+    travel_frames: int  # 0 for hitscan
+
+
+def hit_probability(spec: WeaponSpec, aim_error: float, distance: float) -> float:
+    """Deterministic hit score in [0, 1] from aim error and distance.
+
+    The simulator thresholds this against a seeded uniform draw; the
+    verifiers use it to judge whether a claimed hit was *plausible*.
+    """
+    if distance > spec.effective_range:
+        return 0.0
+    if aim_error > 4.0 * spec.spread:
+        return 0.0
+    aim_term = math.exp(-0.5 * (aim_error / max(spec.spread, 1e-9)) ** 2)
+    range_term = 1.0 - 0.5 * (distance / spec.effective_range)
+    return max(0.0, min(1.0, aim_term * range_term))
+
+
+def resolve_shot(
+    game_map: GameMap,
+    spec: WeaponSpec,
+    shooter_pos: Vec3,
+    shooter_yaw: float,
+    target_pos: Vec3,
+    frame_seconds: float = 0.05,
+    roll: float = 0.0,
+) -> ShotOutcome:
+    """Resolve a shot fired along ``shooter_yaw`` against one target.
+
+    ``roll`` is a uniform [0,1) draw supplied by the caller (the simulator's
+    seeded RNG) so resolution itself stays deterministic and replayable.
+    """
+    shooter_eye = eye_position(shooter_pos)
+    target_eye = eye_position(target_pos)
+    to_target = target_eye - shooter_eye
+    distance = to_target.length()
+    visible = game_map.line_of_sight(shooter_eye, target_eye)
+
+    aim_direction = Vec3.from_yaw(shooter_yaw)
+    aim_error = aim_direction.angle_to(to_target.with_z(0.0))
+    # Account for the cylinder radius: close targets are easy to hit.
+    angular_radius = math.atan2(AVATAR_HIT_RADIUS, max(distance, 1.0))
+    aim_error = max(0.0, aim_error - angular_radius)
+
+    probability = hit_probability(spec, aim_error, distance) if visible else 0.0
+    hit = roll < probability
+
+    travel_frames = 0
+    if spec.projectile_speed is not None and spec.projectile_speed > 0:
+        travel_seconds = distance / spec.projectile_speed
+        travel_frames = max(0, int(round(travel_seconds / frame_seconds)))
+
+    return ShotOutcome(
+        hit=hit,
+        damage=spec.damage if hit else 0,
+        distance=distance,
+        visible=visible,
+        aim_error=aim_error,
+        travel_frames=travel_frames,
+    )

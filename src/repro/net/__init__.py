@@ -1,0 +1,37 @@
+"""Wide-area network substrate: event engine, latency models, transport.
+
+Public surface:
+
+- :class:`~repro.net.events.EventQueue` — deterministic discrete events;
+- :func:`~repro.net.latency.king_like` / :func:`~repro.net.latency.peerwise_like`
+  — synthetic stand-ins for the King and PeerWise latency datasets;
+- :class:`~repro.net.transport.DatagramNetwork` — UDP-like unreliable
+  delivery with loss, jitter, bandwidth metering, budgets and NAT;
+- :class:`~repro.net.bandwidth.BandwidthMeter` — kbps accounting;
+- :class:`~repro.net.nat.Reachability` — UPnP/STUN traversal model.
+"""
+
+from repro.net.bandwidth import BandwidthMeter, NodeUsage, UploadBudget
+from repro.net.events import EventQueue, SimulationError
+from repro.net.latency import LatencyMatrix, king_like, peerwise_like, uniform_lan
+from repro.net.nat import NatProfile, NatType, Reachability, sample_profiles
+from repro.net.transport import Datagram, DatagramNetwork, NetworkConfig
+
+__all__ = [
+    "BandwidthMeter",
+    "Datagram",
+    "DatagramNetwork",
+    "EventQueue",
+    "LatencyMatrix",
+    "NatProfile",
+    "NatType",
+    "NetworkConfig",
+    "NodeUsage",
+    "Reachability",
+    "SimulationError",
+    "UploadBudget",
+    "king_like",
+    "peerwise_like",
+    "sample_profiles",
+    "uniform_lan",
+]

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.game import GameTrace
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "t.jsonl"
+    code = main([
+        "simulate", "--players", "6", "--frames", "60", "--seed", "3",
+        "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_simulate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+
+class TestSimulate:
+    def test_writes_loadable_trace(self, trace_path):
+        trace = GameTrace.load_jsonl(trace_path)
+        assert trace.num_players == 6
+        assert trace.num_frames == 60
+
+    def test_npc_fraction_flag(self, tmp_path, capsys):
+        path = tmp_path / "npc.jsonl"
+        assert main([
+            "simulate", "--players", "4", "--frames", "30",
+            "--npc-fraction", "1.0", "--out", str(path),
+        ]) == 0
+        assert "recorded 4 players" in capsys.readouterr().out
+
+    def test_corridors_map(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        assert main([
+            "simulate", "--players", "4", "--frames", "30",
+            "--map", "corridors", "--out", str(path),
+        ]) == 0
+        assert GameTrace.load_jsonl(path).map_name == "corridors"
+
+
+class TestReplay:
+    def test_replay_prints_report(self, trace_path, capsys):
+        assert main(["replay", str(trace_path), "--latency", "lan"]) == 0
+        out = capsys.readouterr().out
+        assert "update ages" in out
+        assert "stale" in out
+
+    def test_replay_with_server(self, trace_path, capsys):
+        assert main(["replay", str(trace_path), "--servers", "1"]) == 0
+        assert "server" in capsys.readouterr().out
+
+
+class TestExperiment:
+    def test_fig1(self, capsys):
+        assert main([
+            "experiment", "fig1", "--players", "6", "--frames", "60",
+        ]) == 0
+        assert "top-10%" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main([
+            "experiment", "fig4", "--players", "6", "--frames", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "watchmen" in out and "donnybrook" in out
+
+    def test_churn(self, capsys):
+        assert main([
+            "experiment", "churn", "--players", "6", "--frames", "80",
+        ]) == 0
+        assert "IS turnover" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main([
+            "experiment", "fig7", "--players", "6", "--frames", "80",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "king" in out and "peerwise" in out

@@ -1,0 +1,84 @@
+"""Unit tests for WatchmenConfig."""
+
+import pytest
+
+from repro.core.config import WatchmenConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = WatchmenConfig()
+        assert config.frame_seconds == 0.05
+        assert config.proxy_period_frames == 40
+        assert config.interest.interest_size == 5
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("frame_seconds", 0.0),
+            ("proxy_period_frames", 0),
+            ("frequent_interval_frames", 0),
+            ("guidance_interval_frames", -5),
+            ("position_interval_frames", 0),
+            ("handoff_depth", -1),
+            ("signature_bits", 0),
+            ("state_update_bits", -1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            WatchmenConfig(**{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WatchmenConfig().proxy_period_frames = 99  # type: ignore[misc]
+
+
+class TestEpochs:
+    def test_epoch_of_frame(self):
+        config = WatchmenConfig(proxy_period_frames=40)
+        assert config.epoch_of_frame(0) == 0
+        assert config.epoch_of_frame(39) == 0
+        assert config.epoch_of_frame(40) == 1
+        assert config.epoch_of_frame(80) == 2
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError):
+            WatchmenConfig().epoch_of_frame(-1)
+
+    def test_custom_period(self):
+        config = WatchmenConfig(proxy_period_frames=10)
+        assert config.epoch_of_frame(25) == 2
+
+
+class TestPaperConstants:
+    """The paper-given numbers DESIGN.md promises."""
+
+    def test_frame_is_50ms(self):
+        assert WatchmenConfig().frame_seconds == 0.05
+
+    def test_guidance_once_per_second(self):
+        config = WatchmenConfig()
+        assert config.guidance_interval_frames * config.frame_seconds == 1.0
+
+    def test_position_updates_once_per_second(self):
+        config = WatchmenConfig()
+        assert config.position_interval_frames * config.frame_seconds == 1.0
+
+    def test_proxy_period_couple_of_seconds(self):
+        config = WatchmenConfig()
+        seconds = config.proxy_period_frames * config.frame_seconds
+        assert 1.0 <= seconds <= 4.0
+
+    def test_signature_100_bits(self):
+        assert WatchmenConfig().signature_bits == 100
+
+    def test_state_update_700_bits(self):
+        assert WatchmenConfig().state_update_bits == 700
+
+    def test_handoff_two_predecessors(self):
+        assert WatchmenConfig().handoff_depth == 2
+
+    def test_150ms_staleness_bound(self):
+        config = WatchmenConfig()
+        assert config.max_useful_age_frames * config.frame_seconds == pytest.approx(0.15)

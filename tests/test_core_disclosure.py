@@ -1,0 +1,164 @@
+"""Unit tests for information-disclosure accounting."""
+
+import pytest
+
+from repro.core.disclosure import (
+    ExposureCategory,
+    ExposureHistogram,
+    InfoLevel,
+    coalition_category,
+    watchmen_observer_level,
+)
+
+
+class TestCoalitionCategory:
+    def test_empty_coalition_nothing(self):
+        assert coalition_category([]) == ExposureCategory.NOTHING
+
+    def test_complete_dominates(self):
+        levels = [InfoLevel.COMPLETE, InfoLevel.NOTHING, InfoLevel.FREQUENT]
+        assert coalition_category(levels) == ExposureCategory.COMPLETE
+
+    def test_freq_and_dr_combine(self):
+        levels = [InfoLevel.FREQUENT, InfoLevel.DEAD_RECKONING]
+        assert coalition_category(levels) == ExposureCategory.FREQ_DR
+
+    def test_freq_alone(self):
+        assert coalition_category([InfoLevel.FREQUENT]) == ExposureCategory.FREQ
+
+    def test_dr_alone(self):
+        assert (
+            coalition_category([InfoLevel.DEAD_RECKONING]) == ExposureCategory.DR
+        )
+
+    def test_infrequent(self):
+        levels = [InfoLevel.INFREQUENT, InfoLevel.NOTHING]
+        assert coalition_category(levels) == ExposureCategory.INFREQ
+
+    def test_nothing(self):
+        assert (
+            coalition_category([InfoLevel.NOTHING, InfoLevel.NOTHING])
+            == ExposureCategory.NOTHING
+        )
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            coalition_category(["telepathy"])
+
+    def test_paper_example(self):
+        """The worked example from Section VII (8 players, 2 cheaters).
+
+        The coalition has: complete about {3}; freq+DR about {6}; freq only
+        about {4, 5}; DR only about {7}; infrequent about {8}.
+        """
+        # Player 1: IS {4,5}, VS {2,6}, proxy of {3}.
+        # Player 2: IS {1,6}, VS {7}, proxy of {1}.
+        cheaters = {1, 2}
+        interest = {1: {4, 5}, 2: {1, 6}}
+        vision = {1: {2, 6}, 2: {7}}
+        proxies = {3: 1, 1: 2}  # subject -> proxy
+
+        def level(observer, subject):
+            if proxies.get(subject) == observer:
+                return InfoLevel.COMPLETE
+            if subject in interest[observer]:
+                return InfoLevel.FREQUENT
+            if subject in vision[observer]:
+                return InfoLevel.DEAD_RECKONING
+            return InfoLevel.INFREQUENT
+
+        joint = {
+            subject: coalition_category(
+                [level(cheater, subject) for cheater in cheaters]
+            )
+            for subject in range(3, 9)
+        }
+        assert joint[3] == ExposureCategory.COMPLETE
+        assert joint[6] == ExposureCategory.FREQ_DR
+        assert joint[4] == ExposureCategory.FREQ
+        assert joint[5] == ExposureCategory.FREQ
+        assert joint[7] == ExposureCategory.DR
+        assert joint[8] == ExposureCategory.INFREQ
+
+
+class TestObserverLevel:
+    def test_proxy_complete(self):
+        level = watchmen_observer_level(
+            1, 2, frozenset(), frozenset(), proxy_of_subject=1
+        )
+        assert level == InfoLevel.COMPLETE
+
+    def test_interest_frequent(self):
+        level = watchmen_observer_level(
+            1, 2, frozenset({2}), frozenset(), proxy_of_subject=5
+        )
+        assert level == InfoLevel.FREQUENT
+
+    def test_vision_dr(self):
+        level = watchmen_observer_level(
+            1, 2, frozenset(), frozenset({2}), proxy_of_subject=5
+        )
+        assert level == InfoLevel.DEAD_RECKONING
+
+    def test_default_infrequent(self):
+        level = watchmen_observer_level(
+            1, 2, frozenset(), frozenset(), proxy_of_subject=5
+        )
+        assert level == InfoLevel.INFREQUENT
+
+    def test_proxy_beats_interest(self):
+        level = watchmen_observer_level(
+            1, 2, frozenset({2}), frozenset(), proxy_of_subject=1
+        )
+        assert level == InfoLevel.COMPLETE
+
+    def test_self_observation_rejected(self):
+        with pytest.raises(ValueError):
+            watchmen_observer_level(1, 1, frozenset(), frozenset(), 2)
+
+
+class TestHistogram:
+    def test_empty(self):
+        histogram = ExposureHistogram.empty()
+        assert sum(histogram.counts.values()) == 0.0
+        assert set(histogram.counts) == set(ExposureCategory.ORDER)
+
+    def test_add(self):
+        histogram = ExposureHistogram.empty()
+        histogram.add(ExposureCategory.FREQ)
+        histogram.add(ExposureCategory.FREQ, weight=2.0)
+        assert histogram.counts[ExposureCategory.FREQ] == 3.0
+
+    def test_add_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            ExposureHistogram.empty().add("psychic")
+
+    def test_normalized_sums_to_one(self):
+        histogram = ExposureHistogram.empty()
+        histogram.add(ExposureCategory.FREQ, 3.0)
+        histogram.add(ExposureCategory.DR, 1.0)
+        proportions = histogram.normalized()
+        assert sum(proportions.values()) == pytest.approx(1.0)
+        assert proportions[ExposureCategory.FREQ] == pytest.approx(0.75)
+
+    def test_normalized_empty(self):
+        assert all(v == 0.0 for v in ExposureHistogram.empty().normalized().values())
+
+    def test_scaled(self):
+        histogram = ExposureHistogram.empty()
+        histogram.add(ExposureCategory.DR, 4.0)
+        assert histogram.scaled(0.5).counts[ExposureCategory.DR] == 2.0
+
+    def test_merged(self):
+        a = ExposureHistogram.empty()
+        b = ExposureHistogram.empty()
+        a.add(ExposureCategory.FREQ, 1.0)
+        b.add(ExposureCategory.FREQ, 2.0)
+        b.add(ExposureCategory.INFREQ, 1.0)
+        merged = a.merged(b)
+        assert merged.counts[ExposureCategory.FREQ] == 3.0
+        assert merged.counts[ExposureCategory.INFREQ] == 1.0
+
+    def test_order_most_to_least_informative(self):
+        assert ExposureCategory.ORDER[0] == ExposureCategory.COMPLETE
+        assert ExposureCategory.ORDER[-1] == ExposureCategory.NOTHING

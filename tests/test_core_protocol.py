@@ -1,0 +1,132 @@
+"""Integration tests for WatchmenSession (full protocol over the WAN sim)."""
+
+import pytest
+
+from repro.core import WatchmenConfig, WatchmenSession
+from repro.net.latency import uniform_lan
+from repro.net.transport import NetworkConfig
+
+
+class TestHonestRun:
+    def test_report_shape(self, honest_session_report):
+        _, report = honest_session_report
+        assert report.num_players == 8
+        assert report.num_frames == 160
+        assert report.messages_sent > 0
+        assert sum(report.age_histogram.values()) > 0
+
+    def test_age_pdf_normalised(self, honest_session_report):
+        _, report = honest_session_report
+        assert sum(report.age_pdf().values()) == pytest.approx(1.0)
+
+    def test_most_updates_fresh(self, honest_session_report):
+        """Figure 7's core claim: ≥95 % of updates under 3 frames of age."""
+        _, report = honest_session_report
+        assert report.stale_fraction(3) < 0.05
+
+    def test_all_update_kinds_flow(self, honest_session_report):
+        _, report = honest_session_report
+        assert set(report.age_histogram_by_kind) == {
+            "state",
+            "guidance",
+            "position",
+        }
+
+    def test_no_honest_player_banned(self, honest_session_report):
+        _, report = honest_session_report
+        assert report.banned == set()
+
+    def test_honest_high_rating_fraction_tiny(self, honest_session_report):
+        _, report = honest_session_report
+        high = [r for r in report.ratings if r.rating >= 6.0]
+        assert len(high) / max(1, len(report.ratings)) < 0.05
+
+    def test_bandwidth_positive_and_bounded(self, honest_session_report):
+        _, report = honest_session_report
+        assert 0 < report.mean_upload_kbps < 2000
+        assert report.mean_upload_kbps <= report.max_upload_kbps
+
+    def test_observed_loss_near_configured(self, honest_session_report):
+        session, report = honest_session_report
+        assert report.messages_lost / report.messages_sent == pytest.approx(
+            0.01, abs=0.01
+        )
+
+
+class TestSessionConstruction:
+    def test_too_few_players_rejected(self, small_trace, longest_yard):
+        from repro.game.trace import GameTrace
+
+        tiny = GameTrace(map_name="x", num_players=1)
+        tiny.frames = [{0: small_trace.snapshot(0, 0)}]
+        with pytest.raises(ValueError):
+            WatchmenSession(tiny, game_map=longest_yard)
+
+    def test_max_frames_limits_run(self, small_trace, longest_yard):
+        session = WatchmenSession(small_trace, game_map=longest_yard)
+        report = session.run(max_frames=40)
+        assert report.num_frames == 40
+
+    def test_deterministic_given_seeds(self, small_trace, longest_yard):
+        a = WatchmenSession(
+            small_trace, game_map=longest_yard, latency=uniform_lan(8)
+        ).run()
+        b = WatchmenSession(
+            small_trace, game_map=longest_yard, latency=uniform_lan(8)
+        ).run()
+        assert a.age_histogram == b.age_histogram
+        assert a.messages_sent == b.messages_sent
+
+
+class TestLanLatency:
+    def test_lan_updates_arrive_same_frame(self, small_trace, longest_yard):
+        """On a LAN two hops cost ~1 ms: nearly every update is age 0-1."""
+        session = WatchmenSession(
+            small_trace,
+            game_map=longest_yard,
+            latency=uniform_lan(8, one_way_ms=0.5),
+            network_config=NetworkConfig(loss_rate=0.0, jitter_ms=0.1),
+        )
+        report = session.run(max_frames=80)
+        pdf = report.age_pdf()
+        assert pdf.get(0, 0.0) + pdf.get(1, 0.0) > 0.95
+
+
+class TestRelaxedFirstHop:
+    def test_relaxed_mode_reduces_age(self, small_trace, longest_yard):
+        """Section VI optimization 3: direct sending cuts one hop."""
+        from repro.net.latency import king_like
+
+        strict = WatchmenSession(
+            small_trace,
+            game_map=longest_yard,
+            latency=king_like(8, seed=1),
+            config=WatchmenConfig(relax_first_hop=False),
+        ).run(max_frames=100)
+        relaxed = WatchmenSession(
+            small_trace,
+            game_map=longest_yard,
+            latency=king_like(8, seed=1),
+            config=WatchmenConfig(relax_first_hop=True),
+        ).run(max_frames=100)
+
+        def mean_age(report):
+            total = sum(report.age_histogram.values())
+            return (
+                sum(age * count for age, count in report.age_histogram.items())
+                / total
+            )
+
+        assert mean_age(relaxed) < mean_age(strict)
+
+
+class TestReputationIntegration:
+    def test_reputation_board_receives_ratings(self, small_trace, longest_yard):
+        from repro.core import ReputationBoard
+
+        board = ReputationBoard()
+        session = WatchmenSession(
+            small_trace, game_map=longest_yard, reputation=board
+        )
+        session.run(max_frames=60)
+        assert board.tags_seen > 0

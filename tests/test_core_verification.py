@@ -1,0 +1,411 @@
+"""Unit tests for the verification engine (ratings, confidence, checks)."""
+
+import math
+
+import pytest
+
+from repro.core.verification import (
+    AimVerifier,
+    CheckKind,
+    Confidence,
+    DeviationCalibration,
+    GuidanceVerifier,
+    KillVerifier,
+    PositionVerifier,
+    RateVerifier,
+    SubscriptionVerifier,
+    rating_from_deviation,
+)
+from repro.game.avatar import AvatarSnapshot
+from repro.game.deadreckoning import GuidancePrediction
+from repro.game.gamemap import make_arena, make_longest_yard
+from repro.game.interest import InterestConfig
+from repro.game.physics import Physics
+from repro.game.vector import Vec3
+
+
+def snap(player_id=1, x=0.0, y=0.0, z=0.0, yaw=0.0, frame=0, alive=True,
+         weapon="machinegun", vx=0.0):
+    return AvatarSnapshot(
+        player_id=player_id,
+        frame=frame,
+        position=Vec3(x, y, z),
+        velocity=Vec3(vx, 0, 0),
+        yaw=yaw,
+        health=100,
+        armor=0,
+        weapon=weapon,
+        ammo=50,
+        alive=alive,
+    )
+
+
+class TestRatingScale:
+    def test_within_allowance_is_normal(self):
+        assert rating_from_deviation(5.0, 10.0) == 1.0
+
+    def test_rating_grows_with_deviation(self):
+        r1 = rating_from_deviation(15.0, 10.0)
+        r2 = rating_from_deviation(25.0, 10.0)
+        assert 1.0 < r1 < r2
+
+    def test_saturates_at_ten(self):
+        assert rating_from_deviation(1e9, 10.0) == 10.0
+
+    def test_zero_allowance_handled(self):
+        assert rating_from_deviation(1.0, 0.0) == 10.0
+
+
+class TestConfidence:
+    def test_ordering_proxy_highest(self):
+        assert (
+            Confidence.PROXY
+            > Confidence.INTEREST
+            > Confidence.VISION
+            > Confidence.OTHER
+        )
+
+    def test_staleness_discount_monotone(self):
+        d0 = Confidence.staleness_discount(0)
+        d10 = Confidence.staleness_discount(10)
+        d100 = Confidence.staleness_discount(100)
+        assert d0 == 1.0
+        assert d0 > d10 > d100 > 0.0
+
+
+class TestCalibration:
+    def test_mean_and_std(self):
+        cal = DeviationCalibration()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            cal.observe(value)
+        assert cal.mean == pytest.approx(3.0)
+        assert cal.std == pytest.approx(1.5811, rel=1e-3)
+
+    def test_fallback_before_enough_data(self):
+        cal = DeviationCalibration(fallback=42.0)
+        cal.observe(1.0)
+        assert cal.allowance() == 42.0
+
+    def test_allowance_mean_plus_sigma(self):
+        cal = DeviationCalibration()
+        for value in [2.0] * 10:
+            cal.observe(value)
+        assert cal.allowance(1.0) == pytest.approx(2.0)
+
+    def test_std_of_single_sample(self):
+        cal = DeviationCalibration()
+        cal.observe(5.0)
+        assert cal.std == 0.0
+
+
+class TestPositionVerifier:
+    @pytest.fixture()
+    def verifier(self, arena):
+        return PositionVerifier(Physics(arena))
+
+    def test_first_observation_no_rating(self, verifier):
+        assert verifier.observe(0, snap(frame=0), 1.0) is None
+
+    def test_legal_move_rates_normal(self, verifier):
+        verifier.observe(0, snap(frame=0, x=0), 1.0)
+        rating = verifier.observe(0, snap(frame=1, x=15.0), 1.0)
+        assert rating is not None
+        assert rating.rating == 1.0
+        assert rating.check == CheckKind.POSITION
+
+    def test_speed_hack_rates_high(self, verifier):
+        verifier.observe(0, snap(frame=0, x=0), 1.0)
+        rating = verifier.observe(0, snap(frame=1, x=64.0), 1.0)  # 4× speed
+        assert rating is not None
+        assert rating.rating >= 8.0
+
+    def test_out_of_order_updates_skipped(self, verifier):
+        verifier.observe(0, snap(frame=5), 1.0)
+        assert verifier.observe(0, snap(frame=3, x=500), 1.0) is None
+
+    def test_death_transition_skipped(self, verifier):
+        verifier.observe(0, snap(frame=0, alive=False), 1.0)
+        assert verifier.observe(0, snap(frame=1, x=900), 1.0) is None
+
+    def test_large_gap_abstains(self, verifier):
+        verifier.observe(0, snap(frame=0), 1.0)
+        assert verifier.observe(0, snap(frame=100, x=3000), 1.0) is None
+
+    def test_forget_clears_history(self, verifier):
+        verifier.observe(0, snap(frame=0), 1.0)
+        verifier.forget(1)
+        assert verifier.observe(0, snap(frame=1, x=500), 1.0) is None
+
+    def test_multi_frame_gap_scales_allowance(self, verifier):
+        verifier.observe(0, snap(frame=0), 1.0)
+        # 10 frames at max speed is legal.
+        rating = verifier.observe(0, snap(frame=10, x=160.0), 1.0)
+        assert rating is not None and rating.rating == 1.0
+
+    def test_confidence_passed_through(self, verifier):
+        verifier.observe(0, snap(frame=0), 0.3)
+        rating = verifier.observe(0, snap(frame=1, x=10), 0.3)
+        assert rating.confidence == 0.3
+
+
+class TestAimVerifier:
+    @pytest.fixture()
+    def verifier(self):
+        return AimVerifier()
+
+    def test_slow_turn_normal(self, verifier):
+        verifier.observe(0, snap(frame=0, yaw=0.0), 1.0)
+        rating = verifier.observe(0, snap(frame=1, yaw=0.3), 1.0)
+        assert rating is not None and rating.rating == 1.0
+
+    def test_instant_snap_flagged(self, verifier):
+        verifier.observe(0, snap(frame=0, yaw=0.0), 1.0)
+        rating = verifier.observe(0, snap(frame=1, yaw=math.pi * 0.95), 1.0)
+        assert rating is not None
+        assert rating.rating > 5.0
+        assert rating.check == CheckKind.AIM
+
+    def test_long_gap_ambiguous_abstains(self, verifier):
+        verifier.observe(0, snap(frame=0, yaw=0.0), 1.0)
+        assert verifier.observe(0, snap(frame=30, yaw=3.0), 1.0) is None
+
+    def test_wrap_around_small_turn(self, verifier):
+        verifier.observe(0, snap(frame=0, yaw=math.pi - 0.05), 1.0)
+        rating = verifier.observe(0, snap(frame=1, yaw=-math.pi + 0.05), 1.0)
+        assert rating is not None and rating.rating == 1.0
+
+
+class TestGuidanceVerifier:
+    def make_prediction(self, vx=100.0, frame=0):
+        return GuidancePrediction(
+            frame=frame,
+            origin=Vec3(0, 0, 0),
+            velocity=Vec3(vx, 0, 0),
+            yaw=0.0,
+            horizon_frames=20,
+        )
+
+    def feed_track(self, verifier, vx, frames=10, player=1, calibrate=False):
+        rating = None
+        for frame in range(frames):
+            rating = verifier.observe_position(
+                0,
+                snap(player_id=player, frame=frame, x=vx * 0.05 * frame),
+                1.0,
+                calibrate=calibrate,
+            ) or rating
+        return rating
+
+    def test_accurate_prediction_normal(self):
+        verifier = GuidanceVerifier()
+        verifier.observe_guidance(1, self.make_prediction(vx=100.0))
+        rating = self.feed_track(verifier, vx=100.0)
+        assert rating is not None
+        assert rating.rating == 1.0
+
+    def test_lying_prediction_flagged(self):
+        verifier = GuidanceVerifier()
+        verifier.observe_guidance(1, self.make_prediction(vx=-300.0))
+        rating = self.feed_track(verifier, vx=300.0)
+        assert rating is not None
+        assert rating.rating > 5.0
+        assert rating.check == CheckKind.GUIDANCE
+
+    def test_no_prediction_no_rating(self):
+        verifier = GuidanceVerifier()
+        assert self.feed_track(verifier, vx=100.0) is None
+
+    def test_death_voids_comparison(self):
+        verifier = GuidanceVerifier()
+        verifier.observe_guidance(1, self.make_prediction())
+        verifier.observe_position(0, snap(frame=1, x=5), 1.0)
+        assert (
+            verifier.observe_position(0, snap(frame=2, alive=False), 1.0) is None
+        )
+        # Prediction dropped: subsequent positions yield nothing.
+        assert self.feed_track(verifier, vx=100.0, frames=12) is None
+
+    def test_sparse_track_abstains(self):
+        verifier = GuidanceVerifier()
+        verifier.observe_guidance(1, self.make_prediction(vx=100.0))
+        # Single observation far past the window: no bracket, no rating.
+        rating = verifier.observe_position(
+            0, snap(frame=19, x=100.0 * 0.05 * 19), 1.0
+        )
+        assert rating is None
+
+    def test_calibration_updates_with_honest_data(self):
+        verifier = GuidanceVerifier()
+        for _ in range(10):
+            verifier.observe_guidance(1, self.make_prediction(vx=100.0))
+            self.feed_track(verifier, vx=100.0, calibrate=True)
+        assert verifier.calibration.count >= 8
+
+
+class TestKillVerifier:
+    @pytest.fixture()
+    def verifier(self):
+        return KillVerifier(make_arena())
+
+    def test_plausible_kill_normal(self, verifier):
+        rating = verifier.verify(
+            0, 10, 1, "railgun",
+            snap(1, x=0, y=-800, weapon="railgun", frame=10),
+            snap(2, x=400, y=-800, frame=10),
+            1.0,
+        )
+        assert rating.rating == 1.0
+        assert rating.check == CheckKind.KILL
+
+    def test_out_of_range_kill_flagged(self, verifier):
+        rating = verifier.verify(
+            0, 10, 1, "shotgun",
+            snap(1, x=-900, y=-800, weapon="shotgun", frame=10),
+            snap(2, x=900, y=-800, frame=10),
+            1.0,
+        )
+        assert rating.rating > 5.0
+
+    def test_occluded_kill_flagged(self):
+        yard = make_longest_yard()
+        verifier = KillVerifier(yard)
+        rating = verifier.verify(
+            0, 10, 1, "railgun",
+            snap(1, x=100, y=0, weapon="railgun", frame=10),
+            snap(2, x=400, y=0, frame=10),  # behind the east pillar
+            1.0,
+        )
+        assert rating.rating > 5.0
+        assert "line of sight" in rating.detail
+
+    def test_wrong_weapon_flagged(self, verifier):
+        rating = verifier.verify(
+            0, 10, 1, "railgun",
+            snap(1, x=0, y=-800, weapon="machinegun", frame=10),
+            snap(2, x=300, y=-800, frame=10),
+            1.0,
+        )
+        assert rating.rating > 1.0
+
+    def test_unknown_weapon_maximal(self, verifier):
+        rating = verifier.verify(0, 10, 1, "bfg9000", None, None, 1.0)
+        assert rating.rating == 10.0
+
+    def test_refire_rate_enforced(self, verifier):
+        killer = snap(1, x=0, y=-800, weapon="railgun", frame=10)
+        victim = snap(2, x=300, y=-800, frame=10)
+        verifier.verify(0, 10, 1, "railgun", killer, victim, 1.0)
+        rating = verifier.verify(0, 12, 1, "railgun", killer, victim, 1.0)
+        assert rating.rating > 5.0  # railgun cannot refire in 2 frames
+
+    def test_missing_snapshots_rate_only(self, verifier):
+        rating = verifier.verify(0, 10, 1, "railgun", None, None, 1.0)
+        assert rating.rating == 1.0  # nothing to contradict
+
+    def test_stale_snapshots_reduce_confidence(self, verifier):
+        rating = verifier.verify(
+            0, 100, 1, "railgun",
+            snap(1, x=0, y=-800, weapon="railgun", frame=10),
+            snap(2, x=300, y=-800, frame=10),
+            1.0,
+        )
+        assert rating.confidence < 0.5
+
+
+class TestSubscriptionVerifier:
+    @pytest.fixture()
+    def verifier(self, arena):
+        return SubscriptionVerifier(arena, InterestConfig())
+
+    def test_valid_vs_subscription(self, verifier):
+        subscriber = snap(1, x=0, y=-800, yaw=0.0)
+        target = snap(2, x=500, y=-800)
+        rating = verifier.verify_vision_subscription(0, 0, subscriber, target, 1.0)
+        assert rating.rating == 1.0
+
+    def test_behind_subscriber_flagged(self, verifier):
+        subscriber = snap(1, x=0, y=-800, yaw=0.0)
+        target = snap(2, x=-700, y=-800)
+        rating = verifier.verify_vision_subscription(0, 0, subscriber, target, 1.0)
+        assert rating.rating > 1.0
+        assert rating.check == CheckKind.VS_SUBSCRIPTION
+
+    def test_valid_is_subscription(self, verifier):
+        subscriber = snap(1, x=0, y=-800, yaw=0.0)
+        target = snap(2, x=200, y=-800)
+        known = {1: subscriber, 2: target}
+        rating = verifier.verify_interest_subscription(
+            0, 0, subscriber, target, known, 1.0
+        )
+        assert rating.rating == 1.0
+        assert rating.check == CheckKind.IS_SUBSCRIPTION
+
+    def test_invisible_is_target_flagged(self, verifier):
+        subscriber = snap(1, x=0, y=-800, yaw=0.0)
+        target = snap(2, x=-1500, y=-800)  # far behind
+        known = {1: subscriber, 2: target}
+        rating = verifier.verify_interest_subscription(
+            0, 0, subscriber, target, known, 1.0
+        )
+        assert rating.rating > 5.0
+
+    def test_cone_deviation_grows_with_distance(self, verifier):
+        subscriber = snap(1, x=0, y=-800, yaw=0.0)
+        near_miss = verifier.verify_vision_subscription(
+            0, 0, subscriber, snap(2, x=-200, y=-800), 1.0
+        )
+        far_miss = verifier.verify_vision_subscription(
+            0, 0, subscriber, snap(3, x=-900, y=-800), 1.0
+        )
+        assert far_miss.deviation > near_miss.deviation
+
+
+class TestRateVerifier:
+    def test_normal_rate_no_ratings(self):
+        verifier = RateVerifier()
+        ratings = []
+        for frame in range(30):
+            ratings.extend(verifier.observe(0, 1, frame, frame + 1, 1.0))
+        assert [r for r in ratings if r.rating > 3.0] == []
+
+    def test_fast_rate_flagged(self):
+        verifier = RateVerifier(window_frames=20)
+        ratings = []
+        for frame in range(20):
+            for _ in range(3):  # 3× the legal rate
+                ratings.extend(verifier.observe(0, 1, frame, frame, 1.0))
+        assert any(r.rating > 3.0 for r in ratings)
+
+    def test_time_skew_flagged(self):
+        verifier = RateVerifier()
+        ratings = verifier.observe(0, 1, stamped_frame=10, wallclock_frame=30,
+                                   confidence=1.0)
+        assert any(r.rating > 3.0 for r in ratings)
+
+    def test_silence_burst_flagged(self):
+        verifier = RateVerifier(silence_allowance_frames=8)
+        verifier.observe(0, 1, 0, 0, 1.0)
+        ratings = verifier.observe(0, 1, 30, 30, 1.0)
+        assert any("silent" in r.detail for r in ratings)
+
+    def test_check_silence_requires_history(self):
+        verifier = RateVerifier()
+        assert verifier.check_silence(0, 1, 100, 1.0) is None
+
+    def test_check_silence_fires_on_gap(self):
+        verifier = RateVerifier(silence_allowance_frames=8)
+        verifier.observe(0, 1, 0, 0, 1.0)
+        rating = verifier.check_silence(0, 1, 40, 1.0)
+        assert rating is not None
+        assert rating.rating > 3.0
+
+    def test_check_silence_not_before_frame(self):
+        verifier = RateVerifier(silence_allowance_frames=8)
+        verifier.observe(0, 1, 0, 0, 1.0)
+        assert verifier.check_silence(0, 1, 40, 1.0, not_before_frame=10) is None
+
+    def test_forget(self):
+        verifier = RateVerifier()
+        verifier.observe(0, 1, 0, 0, 1.0)
+        verifier.forget(1)
+        assert verifier.check_silence(0, 1, 100, 1.0) is None

@@ -1,0 +1,125 @@
+"""Behavioural tests for the bot controllers (trace realism properties)."""
+
+import random
+
+import pytest
+
+from repro.game.avatar import AvatarSnapshot
+from repro.game.bots import HumanlikeBot, WaypointBot
+from repro.game.gamemap import ItemKind, make_longest_yard
+from repro.game.items import ItemManager
+from repro.game.vector import Vec3
+
+
+def snap(player_id, x=0.0, y=0.0, yaw=0.0, health=100, weapon="machinegun",
+         alive=True, frame=0):
+    return AvatarSnapshot(
+        player_id=player_id,
+        frame=frame,
+        position=Vec3(x, y, 0),
+        velocity=Vec3(),
+        yaw=yaw,
+        health=health,
+        armor=0,
+        weapon=weapon,
+        ammo=100,
+        alive=alive,
+    )
+
+
+@pytest.fixture()
+def yard():
+    return make_longest_yard()
+
+
+@pytest.fixture()
+def items(yard):
+    return ItemManager(yard)
+
+
+class TestWeaponRush:
+    def test_unarmed_bot_heads_for_weapon(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        me = snap(0, x=900.0, y=0.0)
+        everyone = {0: me, 1: snap(1, x=-900.0, y=900.0)}
+        decision = bot.decide(0, me, everyone, items)
+        weapon = items.nearest_available(me.position, ItemKind.WEAPON)
+        to_weapon = (weapon.spec.position - me.position).with_z(0).normalized()
+        assert decision.intent.wish_direction.dot(to_weapon) > 0.7
+
+    def test_cornered_unarmed_bot_fights(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        me = snap(0, x=0.0, y=0.0, yaw=0.0)
+        enemy = snap(1, x=200.0, y=0.0)
+        decision = bot.decide(0, me, {0: me, 1: enemy}, items)
+        # Close-quarters: aim at the enemy, don't run for toys.
+        assert abs(decision.intent.yaw) < 0.3
+
+    def test_armed_bot_engages(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        me = snap(0, x=0.0, y=0.0, yaw=0.0, weapon="railgun")
+        enemy = snap(1, x=700.0, y=0.0)
+        decision = bot.decide(0, me, {0: me, 1: enemy}, items)
+        assert abs(decision.intent.yaw) < 0.3
+
+    def test_armed_on_target_bot_shoots(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(2))
+        # Fight staged away from the central pillars (clear line of sight).
+        me = snap(0, x=0.0, y=-800.0, yaw=0.0, weapon="lightning-gun")
+        enemy = snap(1, x=400.0, y=-800.0)
+        fired = any(
+            bot.decide(f, me, {0: me, 1: enemy}, items).shoot_at == 1
+            for f in range(10)
+        )
+        assert fired
+
+
+class TestRetreat:
+    def test_wounded_bot_runs_for_health(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        me = snap(0, x=0.0, y=0.0, health=15)
+        enemy = snap(1, x=300.0, y=0.0)
+        decision = bot.decide(0, me, {0: me, 1: enemy}, items)
+        health = items.nearest_available(me.position, ItemKind.HEALTH)
+        to_health = (health.spec.position - me.position).with_z(0).normalized()
+        assert decision.intent.wish_direction.dot(to_health) > 0.5
+        assert decision.shoot_at is None
+
+
+class TestOcclusionAwareness:
+    def test_bot_ignores_hidden_enemies(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        # The east pillar hides the enemy at eye level.
+        me = snap(0, x=100.0, y=0.0, yaw=0.0, weapon="railgun")
+        hidden = snap(1, x=400.0, y=0.0)
+        decision = bot.decide(0, me, {0: me, 1: hidden}, items)
+        assert decision.shoot_at is None
+
+    def test_dead_enemies_ignored(self, yard, items):
+        bot = HumanlikeBot(0, yard, random.Random(1))
+        me = snap(0, weapon="railgun")
+        corpse = snap(1, x=300.0, alive=False)
+        decision = bot.decide(0, me, {0: me, 1: corpse}, items)
+        assert decision.shoot_at is None
+
+
+class TestWaypointPatrol:
+    def test_patrol_advances_waypoints(self, yard, items):
+        bot = WaypointBot(0, yard, random.Random(1))
+        first_waypoint = bot.waypoints[0]
+        me = snap(0, x=first_waypoint.x, y=first_waypoint.y)
+        bot.decide(0, me, {0: me, 1: snap(1, x=-1800.0, y=-1800.0)}, items)
+        assert bot._index == 1
+
+    def test_patrols_are_player_specific(self, yard):
+        a = WaypointBot(0, yard, random.Random(1))
+        b = WaypointBot(1, yard, random.Random(1))
+        assert a.waypoints != b.waypoints
+
+    def test_waypoint_bot_aims_at_visible_enemy(self, yard, items):
+        bot = WaypointBot(0, yard, random.Random(3))
+        me = snap(0, x=-1000.0, y=-1000.0, yaw=0.0)
+        enemy = snap(1, x=-600.0, y=-1000.0)
+        decision = bot.decide(0, me, {0: me, 1: enemy}, items)
+        to_enemy = (enemy.position - me.position).yaw()
+        assert abs(decision.intent.yaw - to_enemy) < 0.3

@@ -1,0 +1,143 @@
+"""Unit tests for item lifecycle and pickups."""
+
+import pytest
+
+from repro.game.avatar import AvatarState
+from repro.game.gamemap import ItemKind, make_longest_yard
+from repro.game.items import PICKUP_RADIUS, ItemManager
+from repro.game.vector import Vec3
+
+
+@pytest.fixture()
+def manager():
+    return ItemManager(make_longest_yard())
+
+
+def avatar_at(position, player_id=0):
+    return AvatarState(player_id=player_id, position=position)
+
+
+def item_named(manager, name):
+    return next(i for i in manager.instances if i.spec.name == name)
+
+
+class TestPickups:
+    def test_pickup_within_radius(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position + Vec3(10, 0, 0))
+        events = manager.try_pickups(avatar, frame=5)
+        names = [e.item_name for e in events]
+        assert "railgun" in names
+        assert avatar.weapon == "railgun"
+
+    def test_no_pickup_out_of_radius(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position + Vec3(PICKUP_RADIUS + 1, 0, 0))
+        slugs = item_named(manager, "slugs")
+        # Move away from the nearby ammo too.
+        avatar.position = rail.spec.position + Vec3(0, PICKUP_RADIUS + 60, 0)
+        events = manager.try_pickups(avatar, frame=5)
+        assert all(e.item_name != "railgun" for e in events)
+
+    def test_dead_avatar_cannot_pick_up(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position)
+        avatar.alive = False
+        assert manager.try_pickups(avatar, frame=5) == []
+
+    def test_item_unavailable_after_pickup(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position)
+        manager.try_pickups(avatar, frame=5)
+        assert not rail.available
+
+    def test_item_respawns_after_timer(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position)
+        manager.try_pickups(avatar, frame=5)
+        manager.tick(frame=5 + rail.spec.respawn_frames - 1)
+        assert not rail.available
+        manager.tick(frame=5 + rail.spec.respawn_frames)
+        assert rail.available
+
+    def test_pickup_event_payload(self, manager):
+        rail = item_named(manager, "railgun")
+        avatar = avatar_at(rail.spec.position, player_id=7)
+        event = next(
+            e for e in manager.try_pickups(avatar, frame=9)
+            if e.item_name == "railgun"
+        )
+        assert event.player_id == 7
+        assert event.frame == 9
+        assert event.item_kind == ItemKind.WEAPON
+
+
+class TestEffects:
+    def test_health_pickup_heals(self, manager):
+        item = item_named(manager, "health-25")
+        avatar = avatar_at(item.spec.position)
+        avatar.health = 50
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.health == 75
+
+    def test_mega_health_exceeds_cap(self, manager):
+        mega = item_named(manager, "mega")
+        avatar = avatar_at(mega.spec.position)
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.health > 100
+
+    def test_armor_pickup(self, manager):
+        armor = item_named(manager, "yellow-armor")
+        avatar = avatar_at(armor.spec.position)
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.armor == 25
+
+    def test_armor_caps_at_100(self, manager):
+        armor = item_named(manager, "red-armor")
+        avatar = avatar_at(armor.spec.position)
+        avatar.armor = 90
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.armor == 100
+
+    def test_ammo_pickup(self, manager):
+        ammo = item_named(manager, "rockets")
+        avatar = avatar_at(ammo.spec.position)
+        before = avatar.ammo
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.ammo > before
+
+    def test_weapon_pickup_switches_weapon(self, manager):
+        weapon = item_named(manager, "rocket-launcher")
+        avatar = avatar_at(weapon.spec.position)
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.weapon == "rocket-launcher"
+
+    def test_powerup_grants_full_armor(self, manager):
+        quad = item_named(manager, "quad-north")
+        avatar = avatar_at(quad.spec.position)
+        manager.try_pickups(avatar, frame=0)
+        assert avatar.armor == 100
+
+
+class TestQueries:
+    def test_nearest_available(self, manager):
+        rail = item_named(manager, "railgun")
+        found = manager.nearest_available(rail.spec.position, ItemKind.WEAPON)
+        assert found is rail
+
+    def test_nearest_skips_unavailable(self, manager):
+        rail = item_named(manager, "railgun")
+        rail.available = False
+        found = manager.nearest_available(rail.spec.position, ItemKind.WEAPON)
+        assert found is not None and found is not rail
+
+    def test_nearest_none_when_all_taken(self, manager):
+        for instance in manager.instances:
+            instance.available = False
+        assert manager.nearest_available(Vec3(), None) is None
+
+    def test_available_items_shrinks_after_pickup(self, manager):
+        before = len(manager.available_items())
+        rail = item_named(manager, "railgun")
+        manager.try_pickups(avatar_at(rail.spec.position), frame=0)
+        assert len(manager.available_items()) < before

@@ -1,0 +1,77 @@
+"""Unit tests for bandwidth accounting."""
+
+import pytest
+
+from repro.net.bandwidth import BandwidthMeter, UploadBudget
+
+
+class TestMeter:
+    def test_upload_kbps(self):
+        meter = BandwidthMeter()
+        meter.record_send(0, 12_500, time=1.0)  # 100 kbit over 1 s
+        assert meter.upload_kbps(0) == pytest.approx(100.0)
+
+    def test_download_kbps(self):
+        meter = BandwidthMeter()
+        meter.record_receive(1, 25_000, time=2.0)
+        assert meter.download_kbps(1) == pytest.approx(100.0)
+
+    def test_mean_and_max(self):
+        meter = BandwidthMeter()
+        meter.record_send(0, 1000, 1.0)
+        meter.record_send(1, 3000, 1.0)
+        assert meter.max_upload_kbps() == pytest.approx(24.0)
+        assert meter.mean_upload_kbps() == pytest.approx(16.0)
+
+    def test_total(self):
+        meter = BandwidthMeter()
+        meter.record_send(0, 1000, 1.0)
+        meter.record_send(1, 1000, 1.0)
+        assert meter.total_kbps() == pytest.approx(16.0)
+
+    def test_empty_meter(self):
+        meter = BandwidthMeter()
+        assert meter.mean_upload_kbps() == 0.0
+        assert meter.max_upload_kbps() == 0.0
+
+    def test_message_counters(self):
+        meter = BandwidthMeter()
+        meter.record_send(0, 10, 0.5)
+        meter.record_send(0, 10, 0.6)
+        meter.record_receive(0, 10, 0.7)
+        usage = meter.usage(0)
+        assert usage.sent_messages == 2
+        assert usage.received_messages == 1
+
+    def test_node_ids_sorted(self):
+        meter = BandwidthMeter()
+        meter.record_send(5, 10, 0.1)
+        meter.record_send(2, 10, 0.1)
+        assert meter.node_ids() == [2, 5]
+
+
+class TestBudget:
+    def test_allows_within_budget(self):
+        budget = UploadBudget(1000)
+        assert budget.try_send(0, 500, 0.0)
+        assert budget.try_send(0, 400, 0.1)
+
+    def test_blocks_over_budget(self):
+        budget = UploadBudget(1000)
+        assert budget.try_send(0, 800, 0.0)
+        assert not budget.try_send(0, 300, 0.1)
+
+    def test_window_slides(self):
+        budget = UploadBudget(1000)
+        assert budget.try_send(0, 900, 0.0)
+        assert not budget.try_send(0, 900, 0.5)
+        assert budget.try_send(0, 900, 1.5)  # old charge expired
+
+    def test_zero_budget_means_unlimited(self):
+        budget = UploadBudget(0)
+        assert budget.try_send(0, 10**9, 0.0)
+
+    def test_independent_nodes(self):
+        budget = UploadBudget(100)
+        assert budget.try_send(0, 100, 0.0)
+        assert budget.try_send(1, 100, 0.0)
