@@ -14,7 +14,7 @@ from repro.core.disclosure import ExposureCategory
 from repro.game.interest import InterestConfig
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 IS_SIZES = [2, 5, 10]
 
@@ -68,7 +68,8 @@ def test_ablation_interest_size(benchmark, yard, session_trace, results_dir):
     )
     body += "\n(bigger IS = more bandwidth and more frequent-state exposure)\n"
     publish(results_dir, "ablation_interest",
-            "Ablation — interest-set size", body)
+            "Ablation — interest-set size", body,
+            params={**SESSION_TRACE_PARAMS, "is_sizes": IS_SIZES})
 
     small_report = outcomes[IS_SIZES[0]][0]
     large_report = outcomes[IS_SIZES[-1]][0]

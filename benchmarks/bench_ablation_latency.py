@@ -11,7 +11,7 @@ from repro.core import WatchmenConfig, WatchmenSession
 from repro.analysis.report import render_table
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 VARIANTS = {
     "full (predict+retain)": {},
@@ -78,7 +78,8 @@ def test_ablation_latency_optimizations(benchmark, yard, session_trace,
         "starve — the timeout must exceed the subscription round trip)\n"
     )
     publish(results_dir, "ablation_latency",
-            "Ablation — Section VI latency optimizations", body)
+            "Ablation — Section VI latency optimizations", body,
+            params=SESSION_TRACE_PARAMS)
 
     full_report, full_age = outcomes["full (predict+retain)"]
     relaxed_report, relaxed_age = outcomes["relaxed first hop"]

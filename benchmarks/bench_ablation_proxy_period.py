@@ -11,7 +11,7 @@ from repro.core.messages import HandoffMessage
 from repro.analysis.report import render_table
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 PERIODS = [10, 20, 40, 80, 160]
 
@@ -66,7 +66,8 @@ def test_ablation_proxy_period(benchmark, yard, session_trace, results_dir):
         "handoff traffic; the paper settles on ~2s)\n"
     )
     publish(results_dir, "ablation_proxy_period",
-            "Ablation — proxy renewal period", body)
+            "Ablation — proxy renewal period", body,
+            params={**SESSION_TRACE_PARAMS, "periods": PERIODS})
 
     # Shorter period → more handoff traffic → more upload.
     assert (

@@ -15,7 +15,7 @@ from repro.cheats import SpeedHack
 from repro.core import WatchmenConfig, WatchmenSession
 from repro.net.latency import uniform_lan
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def run_depth(trace, yard, action_repetition: bool):
@@ -90,7 +90,8 @@ def test_ablation_verification_depth(benchmark, yard, session_trace,
         "the replay check exposes it — at a measurable compute premium)\n"
     )
     publish(results_dir, "ablation_verification_depth",
-            "Ablation — verification depth", body)
+            "Ablation — verification depth", body,
+            params=SESSION_TRACE_PARAMS)
 
     sanity = outcomes["sanity checks"]
     replay = outcomes["action repetition"]

@@ -10,7 +10,7 @@ from repro.core import WatchmenSession
 from repro.analysis.report import render_table
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_churn_agreement(benchmark, yard, session_trace, results_dir):
@@ -62,7 +62,8 @@ def test_churn_agreement(benchmark, yard, session_trace, results_dir):
         "\n(detection → proposal broadcast → quorum → removal at the next "
         "epoch boundary, identical at every honest node)\n"
     )
-    publish(results_dir, "churn", "Churn — departure agreement round", body)
+    publish(results_dir, "churn", "Churn — departure agreement round", body,
+            params=SESSION_TRACE_PARAMS)
 
     assert agreed == len(honest_nodes)
     assert len(removal_frames) == 1

@@ -66,6 +66,17 @@ def test_signature_size_overhead(benchmark, results_dir):
         f"signed — overhead {overhead:.1%}\n"
         f"(paper: 100-bit signatures on ~700-bit updates ≈ 14% overhead)"
     )
-    publish(results_dir, "crypto_overhead", "Signature size overhead", body)
+    publish(
+        results_dir,
+        "crypto_overhead",
+        "Signature size overhead",
+        body,
+        params={"signature_bits": config.signature_bits},
+        metrics={
+            "state_update_bits_unsigned": plain_bits,
+            "state_update_bits_signed": signed_bits,
+            "signature_overhead_fraction": overhead,
+        },
+    )
     assert signed_bits - plain_bits == config.signature_bits
     assert overhead < 0.2

@@ -14,7 +14,7 @@ from repro.core.reputation import BetaReputation, InteractionTag
 from repro.core.reputation_gossip import GossipReputationNetwork
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 CHEATER = 0
 
@@ -74,7 +74,8 @@ def test_distributed_reputation_convergence(benchmark, yard, session_trace,
         "first-hand observations alone, spread by gossip)\n"
     )
     publish(results_dir, "distributed_reputation",
-            "Distributed reputation — gossip convergence", body)
+            "Distributed reputation — gossip convergence", body,
+            params=SESSION_TRACE_PARAMS)
 
     assert agreement.get(CHEATER, 0.0) >= 0.99
     assert set(agreement) == {CHEATER}

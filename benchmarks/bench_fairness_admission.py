@@ -10,7 +10,7 @@ from repro.analysis.report import render_table
 from repro.core import WatchmenSession, feasibility_test
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_fairness_admission(benchmark, yard, session_trace, results_dir):
@@ -55,7 +55,8 @@ def test_fairness_admission(benchmark, yard, session_trace, results_dir):
         f"{report.stale_fraction(3):.2%}\n"
     )
     publish(results_dir, "fairness_admission",
-            "Fairness — feasibility test and weighted proxy pool", body)
+            "Fairness — feasibility test and weighted proxy pool", body,
+            params=SESSION_TRACE_PARAMS)
 
     # Weak players admitted but never serve as proxies.
     for player in weak:

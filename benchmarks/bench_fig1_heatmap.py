@@ -8,7 +8,7 @@ fixed-radius AOI filtering.
 from repro.analysis import hotspot_concentration, presence_heatmap, render_ascii
 from repro.game import generate_trace
 
-from conftest import publish
+from conftest import BENCH_TRACE_PARAMS, publish
 
 
 def test_fig1_heatmaps(benchmark, yard, bench_trace, results_dir):
@@ -38,7 +38,8 @@ def test_fig1_heatmaps(benchmark, yard, bench_trace, results_dir):
             f"NPCs: {npc_conc:.0%} (uniform would be 10%)",
         ]
     )
-    publish(results_dir, "fig1_heatmap", "Figure 1 — presence heatmaps", body)
+    publish(results_dir, "fig1_heatmap", "Figure 1 — presence heatmaps", body,
+            params=BENCH_TRACE_PARAMS)
 
     assert human_conc > 0.4
     assert npc_conc > 0.4

@@ -10,7 +10,7 @@ from repro.analysis.exposure import result_matrix
 from repro.analysis.report import render_exposure
 from repro.core.disclosure import ExposureCategory
 
-from conftest import publish
+from conftest import BENCH_TRACE_PARAMS, publish
 
 COALITION_SIZES = [1, 2, 4, 8, 12]
 
@@ -42,7 +42,8 @@ def test_fig4_exposure(benchmark, yard, bench_trace, results_dir):
         f"  donnybrook DR-only    : {donny_dr_only:.0%}\n"
     )
     publish(results_dir, "fig4_exposure",
-            "Figure 4 — coalition information disclosure", body)
+            "Figure 4 — coalition information disclosure", body,
+            params={**BENCH_TRACE_PARAMS, "coalition_sizes": COALITION_SIZES})
 
     # Shape assertions: who wins and in which direction.
     for size in COALITION_SIZES:

@@ -7,7 +7,7 @@ VS witnesses vs coalition size) plus the in-text honest-proxy probability.
 from repro.analysis import honest_proxy_probability, witness_experiment
 from repro.analysis.report import render_witnesses
 
-from conftest import publish
+from conftest import BENCH_TRACE_PARAMS, publish
 
 COALITION_SIZES = [1, 2, 4, 8, 12]
 
@@ -30,7 +30,8 @@ def test_fig5_witnesses(benchmark, yard, bench_trace, results_dir):
         "and ~10 honest witnesses)\n"
     )
     publish(results_dir, "fig5_witnesses",
-            "Figure 5 — witness availability under collusion", body)
+            "Figure 5 — witness availability under collusion", body,
+            params={**BENCH_TRACE_PARAMS, "coalition_sizes": COALITION_SIZES})
 
     by_size = {r.coalition_size: r for r in results}
     # Solo cheaters always have an honest proxy; more colluders, fewer.

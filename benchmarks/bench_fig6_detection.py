@@ -7,7 +7,7 @@ with a cheater sending ~10 % invalid messages and FP capped at 5 %.
 from repro.analysis import figure6_experiment
 from repro.analysis.report import render_detection
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_fig6_detection(benchmark, yard, session_trace, results_dir):
@@ -23,7 +23,8 @@ def test_fig6_detection(benchmark, yard, session_trace, results_dir):
         "with high success at ≤5% false positives)\n"
     )
     publish(results_dir, "fig6_detection",
-            "Figure 6 — verification success rates", body)
+            "Figure 6 — verification success rates", body,
+            params=SESSION_TRACE_PARAMS)
 
     by_check = {o.check: o for o in outcomes}
     assert set(by_check) == {"position", "kill", "guidance", "is-sub", "vs-sub"}

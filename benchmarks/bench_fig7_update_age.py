@@ -8,7 +8,7 @@ count as loss, and they are rare.
 from repro.analysis import figure7_experiment
 from repro.analysis.report import render_update_age
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_fig7_update_age(benchmark, yard, session_trace, results_dir):
@@ -24,7 +24,8 @@ def test_fig7_update_age(benchmark, yard, session_trace, results_dir):
         "arrive within 2 frames; ≥3 frames counts as loss and stays small)\n"
     )
     publish(results_dir, "fig7_update_age",
-            "Figure 7 — age of received updates", body)
+            "Figure 7 — age of received updates", body,
+            params=SESSION_TRACE_PARAMS)
 
     for result in results:
         assert result.cdf_at(2) > 0.90, result.latency_name

@@ -10,7 +10,7 @@ from repro.core import WatchmenSession
 from repro.analysis.report import render_table
 from repro.net.latency import king_like
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_hybrid_vs_pure_p2p(benchmark, yard, session_trace, results_dir):
@@ -69,7 +69,8 @@ def test_hybrid_vs_pure_p2p(benchmark, yard, session_trace, results_dir):
         "channel closes — and player upload drops, at the cost of hosting "
         "the server's forwarding load)\n"
     )
-    publish(results_dir, "hybrid", "Hybrid architecture comparison", body)
+    publish(results_dir, "hybrid", "Hybrid architecture comparison", body,
+            params=SESSION_TRACE_PARAMS)
 
     # Players shed forwarding load onto the server.
     assert hybrid.mean_upload_kbps < pure.mean_upload_kbps

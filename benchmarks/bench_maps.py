@@ -11,7 +11,7 @@ from repro.analysis import churn_statistics
 from repro.analysis.report import render_table
 from repro.game import compute_sets, generate_trace, make_corridors
 
-from conftest import publish
+from conftest import BENCH_TRACE_PARAMS, publish
 
 
 def mean_set_sizes(trace, game_map):
@@ -66,7 +66,8 @@ def test_map_sensitivity(benchmark, yard, bench_trace, results_dir):
         "derived on one map transfers because churn stays in the same "
         "regime — the paper's cross-map observation)\n"
     )
-    publish(results_dir, "maps", "Map sensitivity — churn & visibility", body)
+    publish(results_dir, "maps", "Map sensitivity — churn & visibility", body,
+            params=BENCH_TRACE_PARAMS)
 
     open_sets = outcomes["longest-yard (open)"][1]
     tight_sets = outcomes["corridors (occluded)"][1]

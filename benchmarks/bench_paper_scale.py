@@ -73,7 +73,8 @@ def test_paper_scale_48_players(benchmark, yard, results_dir):
         f"\n  Donnybrook informed 100% -> measured {donny_informed:.0%}\n"
     )
     publish(results_dir, "paper_scale",
-            "Paper scale — 48-player headline numbers", body)
+            "Paper scale — 48-player headline numbers", body,
+            params={"seed": 48, "players": 48, "frames": 240})
 
     # The in-text 94 % claim, at the paper's own scale.
     assert abs(by_size[4].avg_honest_proxies - (1 - 3 / 47)) < 0.06

@@ -10,7 +10,7 @@ from repro.core import WatchmenConfig, WatchmenSession
 from repro.analysis.report import render_table
 from repro.net.latency import king_like, uniform_lan
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_qoe_view_error(benchmark, yard, session_trace, results_dir):
@@ -53,7 +53,8 @@ def test_qoe_view_error(benchmark, yard, session_trace, results_dir):
         "looks at; the p95 tail is the Others set, known only through 1 Hz "
         "positions by design)\n"
     )
-    publish(results_dir, "qoe_view_error", "QoE — rendered view error", body)
+    publish(results_dir, "qoe_view_error", "QoE — rendered view error", body,
+            params=SESSION_TRACE_PARAMS)
 
     lan = outcomes["LAN"].view_error_stats()
     king = outcomes["king-like"].view_error_stats()

@@ -5,28 +5,51 @@ background numbers (centralized Quake III ≈ 120·n kbps; naive P2P grows
 linearly per node / quadratically in total).
 """
 
+import time
+
 from repro.analysis import scalability_experiment
 from repro.analysis.report import render_scalability
 
-from conftest import publish
+from conftest import SMOKE, publish
 
-PLAYER_COUNTS = [8, 16, 24, 32]
+PLAYER_COUNTS = [4, 8, 12] if SMOKE else [8, 16, 24, 32]
+NUM_FRAMES = 60 if SMOKE else 120
+SEED = 5
 
 
 def test_scalability_bandwidth(benchmark, yard, results_dir):
+    start = time.perf_counter()
     points = benchmark.pedantic(
         scalability_experiment,
         args=(PLAYER_COUNTS,),
-        kwargs={"num_frames": 120, "game_map": yard},
+        kwargs={"num_frames": NUM_FRAMES, "game_map": yard, "seed": SEED},
         rounds=1,
         iterations=1,
     )
+    wall = time.perf_counter() - start
     body = render_scalability(points)
     body += (
         "\n(centralized server column is the 120·n kbps literature figure; "
         "Watchmen keeps per-node upload in broadband range as n grows)\n"
     )
-    publish(results_dir, "scalability", "Bandwidth scalability sweep", body)
+    metrics = {}
+    for point in points:
+        metrics[f"watchmen_mean_kbps.n{point.num_players}"] = point.watchmen_mean_kbps
+        metrics[f"watchmen_max_kbps.n{point.num_players}"] = point.watchmen_max_kbps
+    publish(
+        results_dir,
+        "scalability",
+        "Bandwidth scalability sweep",
+        body,
+        params={
+            "seed": SEED,
+            "players": PLAYER_COUNTS,
+            "frames": NUM_FRAMES,
+            "smoke": SMOKE,
+        },
+        metrics=metrics,
+        wall_seconds=wall,
+    )
 
     small, large = points[0], points[-1]
     # Watchmen per-node growth is sub-linear vs naive P2P's linear growth.

@@ -3,7 +3,7 @@
 from repro.analysis import cheat_matrix_experiment
 from repro.analysis.report import render_cheat_matrix
 
-from conftest import publish
+from conftest import SESSION_TRACE_PARAMS, publish
 
 
 def test_table1_cheat_matrix(benchmark, yard, session_trace, results_dir):
@@ -15,7 +15,8 @@ def test_table1_cheat_matrix(benchmark, yard, session_trace, results_dir):
     )
     body = render_cheat_matrix(outcomes)
     publish(results_dir, "table1_cheats",
-            "Table I — cheat taxonomy, measured countermeasures", body)
+            "Table I — cheat taxonomy, measured countermeasures", body,
+            params=SESSION_TRACE_PARAMS)
 
     assert len(outcomes) == 14
     for outcome in outcomes:

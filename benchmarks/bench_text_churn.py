@@ -4,7 +4,7 @@ frame-to-frame stability, attention-centre lag."""
 from repro.analysis import churn_statistics
 from repro.analysis.report import render_churn
 
-from conftest import publish
+from conftest import BENCH_TRACE_PARAMS, publish
 
 
 def test_text_churn_statistics(benchmark, yard, bench_trace, results_dir):
@@ -19,7 +19,8 @@ def test_text_churn_statistics(benchmark, yard, bench_trace, results_dir):
         "\n(our bot players churn faster than the paper's human traces; "
         "the retention-timeout design conclusion is unchanged)\n"
     )
-    publish(results_dir, "text_churn", "In-text IS churn statistics", body)
+    publish(results_dir, "text_churn", "In-text IS churn statistics", body,
+            params=BENCH_TRACE_PARAMS)
 
     assert 0.1 <= stats.turnover_after_period <= 0.99
     assert stats.frame_stability >= 0.7

@@ -1,19 +1,55 @@
 """Shared fixtures for the benchmark harness.
 
 Every bench regenerates one of the paper's tables/figures, prints the
-rows/series, and archives them under ``benchmarks/results/``.  Traces are
-session-scoped: the expensive inputs are built once.
+rows/series, and archives them under ``benchmarks/results/`` — a
+human-readable ``.txt`` block *and* a structured ``.json`` artifact
+(schema ``repro.bench.v1``, see ``docs/OBSERVABILITY.md``).  At the end
+of a run every published row is also aggregated into the top-level
+``BENCH_core.json``, the machine-readable perf trajectory that
+``repro bench-diff`` gates CI on.
+
+Traces are session-scoped: the expensive inputs are built once.  Set
+``REPRO_BENCH_SMOKE=1`` for the reduced-size smoke subset CI runs.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.game import generate_trace, make_longest_yard
+from repro.obs import bench_row, write_bench_json
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_CORE_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+#: Reduced sizes for CI's bench-smoke job (REPRO_BENCH_SMOKE=1).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: Parameters of the session-scoped fixture traces, stamped onto every
+#: artifact so archived results are attributable to their inputs.
+BENCH_TRACE_PARAMS = {
+    "seed": 2013,
+    "players": 12 if SMOKE else 24,
+    "frames": 120 if SMOKE else 400,
+}
+SESSION_TRACE_PARAMS = {
+    "seed": 2013,
+    "players": 8 if SMOKE else 12,
+    "frames": 80 if SMOKE else 240,
+}
+
+#: Rows published during this run, aggregated at session end.
+_PUBLISHED_ROWS: list[dict] = []
+
+
+def pytest_collection_modifyitems(items):
+    """Every bench test carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")
@@ -30,19 +66,62 @@ def yard():
 @pytest.fixture(scope="session")
 def bench_trace(yard):
     """The main evaluation trace: 24 players, 400 frames (20 s of play)."""
-    return generate_trace(num_players=24, num_frames=400, seed=2013,
-                          game_map=yard)
+    return generate_trace(
+        num_players=BENCH_TRACE_PARAMS["players"],
+        num_frames=BENCH_TRACE_PARAMS["frames"],
+        seed=BENCH_TRACE_PARAMS["seed"],
+        game_map=yard,
+    )
 
 
 @pytest.fixture(scope="session")
 def session_trace(yard):
     """A lighter trace for full-protocol (network) benches."""
-    return generate_trace(num_players=12, num_frames=240, seed=2013,
-                          game_map=yard)
+    return generate_trace(
+        num_players=SESSION_TRACE_PARAMS["players"],
+        num_frames=SESSION_TRACE_PARAMS["frames"],
+        seed=SESSION_TRACE_PARAMS["seed"],
+        game_map=yard,
+    )
 
 
-def publish(results_dir: Path, name: str, title: str, body: str) -> None:
-    """Print a result block and archive it for EXPERIMENTS.md."""
-    block = f"== {title} ==\n{body}\n"
+def publish(
+    results_dir: Path,
+    name: str,
+    title: str,
+    body: str,
+    params: dict | None = None,
+    metrics: dict[str, float] | None = None,
+    wall_seconds: float | None = None,
+) -> None:
+    """Print a result block and archive it for EXPERIMENTS.md.
+
+    ``params`` should name the run's inputs (seed, player count, frame
+    count); each block and JSON artifact is stamped with them so archived
+    results stay attributable across overwrites.  ``metrics`` (flat name
+    -> number) additionally lands in ``results/<name>.json`` and in the
+    aggregated ``BENCH_core.json`` for the bench-diff CI gate.
+    """
+    params = dict(params or {})
+    stamp = " ".join(f"{key}={value}" for key, value in sorted(params.items()))
+    generated = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    header = f"== {title} ==\n-- run: {stamp or 'unparameterised'} at {generated} --\n"
+    block = f"{header}{body}\n"
     print("\n" + block)
     (results_dir / f"{name}.txt").write_text(block, encoding="utf-8")
+
+    row = bench_row(
+        bench=name,
+        params=params,
+        metrics=metrics,
+        wall_seconds=wall_seconds,
+    )
+    write_bench_json(results_dir / f"{name}.json", row)
+    _PUBLISHED_ROWS.append(row)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Aggregate every published row into the top-level BENCH_core.json."""
+    del session, exitstatus
+    if _PUBLISHED_ROWS:
+        write_bench_json(BENCH_CORE_PATH, list(_PUBLISHED_ROWS))

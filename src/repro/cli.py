@@ -7,15 +7,24 @@ and proxy configurations, run the evaluation studies — as a CLI:
     python -m repro replay trace.jsonl --latency king --loss 0.01
     python -m repro experiment fig4 --players 16 --frames 300
     python -m repro experiment all
+    python -m repro metrics --players 12 --frames 120 --json -
+    python -m repro bench-diff benchmarks/baseline.json BENCH_core.json
 
 Every experiment prints the same rows/series the corresponding paper
-figure or table reports.
+figure or table reports.  ``metrics`` runs a standard session with the
+observability registry enabled and prints/exports the snapshot;
+``bench-diff`` is the CI regression gate over two bench JSON artifacts.
+
+Exit codes: 0 success, 1 failure (e.g. a bench-diff regression),
+2 usage errors (argparse).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.analysis import (
     cheat_matrix_experiment,
@@ -38,10 +47,17 @@ from repro.analysis.report import (
     render_update_age,
     render_witnesses,
 )
+from repro import __version__
 from repro.core import WatchmenSession
 from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
 from repro.net.latency import king_like, peerwise_like, uniform_lan
 from repro.net.transport import NetworkConfig
+from repro.obs import (
+    MetricsRegistry,
+    diff_rows,
+    format_diff,
+    load_bench_rows,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -66,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Watchmen (ICDCS 2013) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -94,6 +113,43 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--frames", type=int, default=300)
     experiment.add_argument("--seed", type=int, default=7)
     experiment.add_argument("--map", choices=sorted(MAPS), default="longest-yard")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a standard session with the observability registry "
+        "enabled and print/export the snapshot",
+    )
+    metrics.add_argument("--players", type=int, default=12)
+    metrics.add_argument("--frames", type=int, default=120)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument("--map", choices=sorted(MAPS), default="longest-yard")
+    metrics.add_argument(
+        "--latency", choices=("king", "peerwise", "lan"), default="king"
+    )
+    metrics.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the registry snapshot as JSON ('-' for stdout)",
+    )
+
+    diff = sub.add_parser(
+        "bench-diff",
+        help="compare two bench JSON artifacts; exit 1 on regressions "
+        "beyond the threshold",
+    )
+    diff.add_argument("old", help="baseline artifact (JSON)")
+    diff.add_argument("new", help="candidate artifact (JSON)")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative increase that counts as a regression (default 0.25)",
+    )
+    diff.add_argument(
+        "--include-wall",
+        action="store_true",
+        help="also gate on wall_seconds (machine-dependent; off by default)",
+    )
     return parser
 
 
@@ -193,12 +249,101 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry(enabled=True)
+    game_map = MAPS[args.map]()
+    trace = generate_trace(
+        num_players=args.players,
+        num_frames=args.frames,
+        seed=args.seed,
+        game_map=game_map,
+        registry=registry,
+    )
+    session = WatchmenSession(
+        trace,
+        game_map=game_map,
+        latency=_latency_for(args.latency, args.players, args.seed),
+        registry=registry,
+    )
+    start = time.perf_counter()
+    session.run()
+    wall = time.perf_counter() - start
+    registry.gauge("session.wall_seconds").set(wall)
+
+    snapshot = registry.snapshot()
+    if args.json:
+        text = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"snapshot -> {args.json}")
+    if args.json != "-":
+        _print_metrics_summary(snapshot, wall)
+    return 0
+
+
+def _print_metrics_summary(snapshot: dict, wall: float) -> None:
+    histograms = snapshot["histograms"]
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    print(f"wall time          : {wall:.2f} s")
+    frame = histograms.get("session.frame_seconds", {})
+    if frame.get("count"):
+        print(
+            "frame time         : "
+            f"p50 {frame['p50'] * 1000:.2f} ms, p95 {frame['p95'] * 1000:.2f} ms, "
+            f"p99 {frame['p99'] * 1000:.2f} ms, max {frame['max'] * 1000:.2f} ms"
+        )
+    verify = histograms.get("node.verify_seconds", {})
+    if verify.get("count"):
+        print(
+            "verify latency     : "
+            f"p50 {verify['p50'] * 1e6:.1f} us, p99 {verify['p99'] * 1e6:.1f} us "
+            f"over {verify['count']} checks"
+        )
+    print(
+        "bandwidth          : "
+        f"mean {gauges.get('net.upload_kbps.mean', 0.0):.0f} kbps, "
+        f"max {gauges.get('net.upload_kbps.max', 0.0):.0f} kbps"
+    )
+    sent = {
+        name.removeprefix("net.sent.").removesuffix(".count"): value
+        for name, value in counters.items()
+        if name.startswith("net.sent.") and name.endswith(".count")
+    }
+    if sent:
+        print("messages by type   : " + ", ".join(
+            f"{kind}:{count}" for kind, count in sorted(sent.items())
+        ))
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    try:
+        old_rows = load_bench_rows(args.old)
+        new_rows = load_bench_rows(args.new)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"bench-diff: {error}", file=sys.stderr)
+        return 2
+    regressions, others = diff_rows(
+        old_rows,
+        new_rows,
+        threshold=args.threshold,
+        include_wall=args.include_wall,
+    )
+    print(format_diff(regressions, others, threshold=args.threshold))
+    return 1 if regressions else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": cmd_simulate,
         "replay": cmd_replay,
         "experiment": cmd_experiment,
+        "metrics": cmd_metrics,
+        "bench-diff": cmd_bench_diff,
     }
     return handlers[args.command](args)
 

@@ -60,6 +60,12 @@ from repro.game.deadreckoning import predict_linear
 from repro.game.gamemap import GameMap
 from repro.game.interest import InteractionRecency
 from repro.game.physics import Physics
+from repro.obs.registry import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    get_registry,
+)
 
 __all__ = ["NodeBehaviour", "HonestBehaviour", "WatchmenNode", "NodeMetrics"]
 
@@ -100,9 +106,19 @@ class HonestBehaviour:
         return []
 
 
+#: Update-age histogram bounds, in frames (0 = same-frame delivery).
+AGE_BUCKETS = (0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0)
+
+
 @dataclass
 class NodeMetrics:
-    """Everything a node measures locally."""
+    """Everything a node measures locally.
+
+    The plain fields remain the per-node read API; :meth:`bind` wires the
+    same observations into a shared :class:`MetricsRegistry` so session
+    totals (counters, the update-age histogram) come for free.  Unbound
+    instances feed null singletons — zero overhead, no registry needed.
+    """
 
     update_ages: list[tuple[str, int]] = field(default_factory=list)  # (kind, frames)
     ratings: list[CheatRating] = field(default_factory=list)
@@ -111,8 +127,55 @@ class NodeMetrics:
     direct_update_violations: int = 0
     forwarded_messages: int = 0
 
+    def __post_init__(self) -> None:
+        self._ctr_signature = NULL_COUNTER
+        self._ctr_replayed = NULL_COUNTER
+        self._ctr_direct = NULL_COUNTER
+        self._ctr_forwarded = NULL_COUNTER
+        self._ctr_ratings = NULL_COUNTER
+        self._ctr_suspicious = NULL_COUNTER
+        self._hist_age = NULL_HISTOGRAM
+
+    def bind(self, registry: MetricsRegistry) -> None:
+        """Mirror this node's observations into session-wide instruments."""
+        self._ctr_signature = registry.counter("node.signature_failures")
+        self._ctr_replayed = registry.counter("node.replayed_messages")
+        self._ctr_direct = registry.counter("node.direct_update_violations")
+        self._ctr_forwarded = registry.counter("node.forwarded_messages")
+        self._ctr_ratings = registry.counter("node.ratings_emitted")
+        self._ctr_suspicious = registry.counter("node.ratings_suspicious")
+        self._hist_age = registry.histogram("node.update_age_frames", AGE_BUCKETS)
+
     def ages_of(self, kind: str | None = None) -> list[int]:
         return [age for k, age in self.update_ages if kind is None or k == kind]
+
+    # ---- recording (each mirrors into the bound registry) ----------------
+
+    def count_signature_failure(self) -> None:
+        self.signature_failures += 1
+        self._ctr_signature.inc()
+
+    def count_replayed_message(self) -> None:
+        self.replayed_messages += 1
+        self._ctr_replayed.inc()
+
+    def count_direct_update_violation(self) -> None:
+        self.direct_update_violations += 1
+        self._ctr_direct.inc()
+
+    def count_forwarded_message(self) -> None:
+        self.forwarded_messages += 1
+        self._ctr_forwarded.inc()
+
+    def record_age(self, kind: str, age: int) -> None:
+        self.update_ages.append((kind, age))
+        self._hist_age.record(float(age))
+
+    def record_rating(self, rating: CheatRating) -> None:
+        self.ratings.append(rating)
+        self._ctr_ratings.inc()
+        if rating.suspicious:
+            self._ctr_suspicious.inc()
 
 
 @dataclass
@@ -161,6 +224,7 @@ class WatchmenNode:
         behaviour: NodeBehaviour | None = None,
         rating_sink: Callable[[CheatRating], None] | None = None,
         is_server: bool = False,
+        registry: MetricsRegistry | None = None,
     ):
         self.player_id = player_id
         #: Hybrid-architecture servers proxy and verify but never publish
@@ -174,7 +238,13 @@ class WatchmenNode:
         self._send_raw = send
         self.behaviour: NodeBehaviour = behaviour or HonestBehaviour()
         self._rating_sink = rating_sink
+        obs = registry if registry is not None else get_registry()
+        self._obs = obs
         self.metrics = NodeMetrics()
+        self.metrics.bind(obs)
+        self._hist_verify = obs.histogram("node.verify_seconds")
+        self._hist_handle = obs.histogram("node.on_message_seconds")
+        self._handled_by_type: dict[type, object] = {}
 
         physics = Physics(game_map)
         self.action_repetition_verifier = None
@@ -633,10 +703,21 @@ class WatchmenNode:
 
     def on_message(self, src: int, message: GameMessage) -> None:
         """Entry point for every delivered datagram payload."""
+        counter = self._handled_by_type.get(type(message))
+        if counter is None:
+            counter = self._obs.counter(f"node.handled.{type(message).__name__}")
+            self._handled_by_type[type(message)] = counter
+        counter.inc()
+        with self._hist_handle.time():
+            self._dispatch_message(src, message)
+
+    def _dispatch_message(self, src: int, message: GameMessage) -> None:
         observe = getattr(self.behaviour, "observe_incoming", None)
         if observe is not None:
             observe(self.current_frame, src, message)
-        if not self._verify_envelope(message):
+        with self._hist_verify.time():
+            accepted = self._verify_envelope(message)
+        if not accepted:
             return
         if isinstance(message, StateUpdate):
             self._on_state_update(src, message)
@@ -660,7 +741,7 @@ class WatchmenNode:
         if message.signature is None or not self.signer.verify(
             message.sender_id, signable_bytes(message), message.signature
         ):
-            self.metrics.signature_failures += 1
+            self.metrics.count_signature_failure()
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
@@ -676,7 +757,7 @@ class WatchmenNode:
             return False
         seen = self._seen_sequences.setdefault(message.sender_id, set())
         if message.sequence in seen:
-            self.metrics.replayed_messages += 1
+            self.metrics.count_replayed_message()
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
@@ -711,7 +792,7 @@ class WatchmenNode:
                 return
             if not self.config.relax_first_hop:
                 # Direct send around the proxy: consistency-cheat attempt.
-                self.metrics.direct_update_violations += 1
+                self.metrics.count_direct_update_violation()
                 self._emit_rating(
                     CheatRating(
                         verifier_id=self.player_id,
@@ -775,7 +856,7 @@ class WatchmenNode:
         for subscriber in state.table.interest_subscribers(self.current_frame):
             if subscriber not in (sender, self.player_id):
                 self._transmit(update, subscriber)
-                self.metrics.forwarded_messages += 1
+                self.metrics.count_forwarded_message()
 
     def _consume_state_update(self, update: StateUpdate) -> None:
         """Subscriber side: measure age, refresh view, verify."""
@@ -818,7 +899,7 @@ class WatchmenNode:
             for subscriber in state.table.vision_subscribers(self.current_frame):
                 if subscriber not in (sender, self.player_id):
                     self._transmit(message, subscriber)
-                    self.metrics.forwarded_messages += 1
+                    self.metrics.count_forwarded_message()
             return
         self.membership.heard_from(sender, self.current_frame)
         self._record_age("guidance", message.frame)
@@ -838,7 +919,7 @@ class WatchmenNode:
             audience = self._others_audience(sender, state)
             for destination in audience:
                 self._transmit(message, destination)
-                self.metrics.forwarded_messages += 1
+                self.metrics.count_forwarded_message()
             return
         self.membership.heard_from(sender, self.current_frame)
         self._record_age("position", message.frame)
@@ -902,7 +983,7 @@ class WatchmenNode:
                 self._register_subscription(request)
             else:
                 self._transmit(request, target_proxy)
-                self.metrics.forwarded_messages += 1
+                self.metrics.count_forwarded_message()
             return
         # Stage 2: I should be the target's proxy — record the subscriber.
         if self._is_proxy_of(request.target_id):
@@ -958,7 +1039,7 @@ class WatchmenNode:
             for witness in witnesses:
                 if witness not in (sender, self.player_id):
                     self._transmit(claim, witness)
-                    self.metrics.forwarded_messages += 1
+                    self.metrics.count_forwarded_message()
             return
         self._judge_kill_claim(claim, self._confidence_about(sender))
 
@@ -991,7 +1072,7 @@ class WatchmenNode:
             for witness in witnesses:
                 if witness not in (sender, self.player_id):
                     self._transmit(spawn, witness)
-                    self.metrics.forwarded_messages += 1
+                    self.metrics.count_forwarded_message()
             return
         # Witness side: record for later kill-claim corroboration.
         rating = self.projectiles.verify_spawn(
@@ -1149,9 +1230,9 @@ class WatchmenNode:
 
     def _record_age(self, kind: str, stamped_frame: int) -> None:
         age = max(0, self.current_frame - stamped_frame)
-        self.metrics.update_ages.append((kind, age))
+        self.metrics.record_age(kind, age)
 
     def _emit_rating(self, rating: CheatRating) -> None:
-        self.metrics.ratings.append(rating)
+        self.metrics.record_rating(rating)
         if self._rating_sink is not None:
             self._rating_sink(rating)

@@ -30,6 +30,7 @@ from repro.game.trace import GameTrace
 from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix, king_like
 from repro.net.transport import Datagram, DatagramNetwork, NetworkConfig
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["SessionReport", "WatchmenSession"]
 
@@ -105,11 +106,17 @@ class WatchmenSession:
         server_weight: int = 4,
         proxy_pool: list[int] | None = None,
         pool_weights: dict[int, int] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.trace = trace
         self.game_map = game_map or make_longest_yard()
         self.config = config or WatchmenConfig()
         self.reputation = reputation or ReputationBoard()
+        #: Observability: one registry for the whole session (nodes,
+        #: schedule, transport).  Defaults to the process-wide registry,
+        #: which is disabled unless a caller swapped an enabled one in.
+        self.obs = registry if registry is not None else get_registry()
+        self._hist_frame = self.obs.histogram("session.frame_seconds")
         #: player id -> frame at which he abruptly leaves (churn injection)
         self.departures = dict(departures or {})
         #: sample the rendered-view error every k frames (None = off)
@@ -131,6 +138,7 @@ class WatchmenSession:
             self.queue,
             latency or king_like(total_endpoints, seed=trace.seed),
             network_config or NetworkConfig(seed=trace.seed),
+            registry=self.obs,
         )
         if self.network.latency.size < total_endpoints:
             raise ValueError("latency matrix too small for players + servers")
@@ -148,6 +156,7 @@ class WatchmenSession:
                 proxy_pool=pool,
                 pool_weights=weights,
                 infrastructure=self.server_ids,
+                registry=self.obs,
             )
         else:
             self.schedule = ProxySchedule(
@@ -156,6 +165,7 @@ class WatchmenSession:
                 proxy_period_frames=self.config.proxy_period_frames,
                 proxy_pool=proxy_pool,
                 pool_weights=pool_weights,
+                registry=self.obs,
             )
         self.signer = signer or HmacSigner(signature_bits=self.config.signature_bits)
         for player_id in roster + self.server_ids:
@@ -174,6 +184,7 @@ class WatchmenSession:
                 send=self.network.send,
                 behaviour=behaviours.get(player_id),
                 rating_sink=self.reputation.submit_rating,
+                registry=self.obs,
             )
             # Seed frame-0 knowledge: FPS "players are usually aware of all
             # entities of the game" when the match starts.
@@ -197,6 +208,7 @@ class WatchmenSession:
                 send=self.network.send,
                 rating_sink=self.reputation.submit_rating,
                 is_server=True,
+                registry=self.obs,
             )
             server_node.known = dict(trace.frames[0])
             self.nodes[server_id] = server_node
@@ -272,6 +284,10 @@ class WatchmenSession:
         return self._report(num_frames)
 
     def _tick(self, frame: int) -> None:
+        with self._hist_frame.time():
+            self._tick_inner(frame)
+
+    def _tick_inner(self, frame: int) -> None:
         # Abrupt departures: the machine is gone — no more sends, no more
         # receives.  The remaining nodes must detect and agree on it.
         for player_id, depart_frame in self.departures.items():
@@ -365,4 +381,12 @@ class WatchmenSession:
         report.messages_lost = self.network.lost
         report.banned = self.reputation.banned()
         report.view_errors = list(self.view_errors)
+        # Bandwidth gauges: the paper's headline per-node kbps, exported
+        # through the registry so snapshots carry them.
+        self.obs.gauge("session.players").set(report.num_players)
+        self.obs.gauge("session.frames").set(num_frames)
+        self.obs.gauge("net.upload_kbps.mean").set(report.mean_upload_kbps)
+        self.obs.gauge("net.upload_kbps.max").set(report.max_upload_kbps)
+        for server, kbps in report.server_upload_kbps.items():
+            self.obs.gauge(f"net.upload_kbps.server.{server}").set(kbps)
         return report

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.prng import VerifiablePrng
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["ProxySchedule", "ProxyAssignment"]
 
@@ -44,6 +45,7 @@ class ProxySchedule:
         proxy_pool: list[int] | None = None,
         pool_weights: dict[int, int] | None = None,
         infrastructure: list[int] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if len(roster) < 2:
             raise ValueError("need at least two players for proxying")
@@ -72,6 +74,15 @@ class ProxySchedule:
         for node in pool:
             self.pool.extend([node] * max(1, int(weights.get(node, 1))))
         self._prngs: dict[int, VerifiablePrng] = {}
+        self._roster_set = set(self.roster)
+        # The schedule is a pure function of (seed, roster, epoch), so
+        # assignments are memoised; the counters split real PRNG draws
+        # from cache hits.
+        self._assignments: dict[tuple[int, int], int] = {}
+        obs = registry if registry is not None else get_registry()
+        self._registry = obs
+        self._ctr_lookups = obs.counter("proxy.schedule.lookups")
+        self._ctr_draws = obs.counter("proxy.schedule.draws")
 
     # ---- schedule queries -------------------------------------------------
 
@@ -82,7 +93,11 @@ class ProxySchedule:
 
     def proxy_of(self, player_id: int, epoch: int) -> int:
         """The proxy serving ``player_id`` during ``epoch`` (verifiable)."""
-        if player_id not in set(self.roster):
+        self._ctr_lookups.inc()
+        cached = self._assignments.get((player_id, epoch))
+        if cached is not None:
+            return cached
+        if player_id not in self._roster_set:
             raise KeyError(f"unknown player {player_id}")
         if epoch < 0:
             raise ValueError("epoch must be non-negative")
@@ -93,8 +108,11 @@ class ProxySchedule:
         if prng is None:
             prng = VerifiablePrng(self.common_seed, player_id)
             self._prngs[player_id] = prng
+        self._ctr_draws.inc()
         index = prng.below_at(epoch, len(eligible))
-        return eligible[index]
+        proxy = eligible[index]
+        self._assignments[(player_id, epoch)] = proxy
+        return proxy
 
     def proxy_at_frame(self, player_id: int, frame: int) -> int:
         return self.proxy_of(player_id, self.epoch_of_frame(frame))
@@ -139,6 +157,7 @@ class ProxySchedule:
             proxy_period_frames=self.proxy_period_frames,
             proxy_pool=remaining_pool or None,
             infrastructure=self.infrastructure or None,
+            registry=self._registry,
         )
 
     # ---- collusion statistics (Figure 5 / in-text 94 %) -----------------------

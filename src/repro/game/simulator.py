@@ -25,6 +25,7 @@ from repro.game.physics import Physics, PhysicsConfig
 from repro.game.trace import GameTrace, KillEvent, ShotEvent, TraceEvent
 from repro.game.vector import Vec3
 from repro.game.weapons import WEAPONS, resolve_shot
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["SimulationConfig", "DeathmatchSimulator", "generate_trace"]
 
@@ -57,9 +58,14 @@ class DeathmatchSimulator:
         self,
         config: SimulationConfig | None = None,
         game_map: GameMap | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.config = config or SimulationConfig()
         self.game_map = game_map or make_longest_yard()
+        obs = registry if registry is not None else get_registry()
+        self._hist_frame = obs.histogram("sim.frame_seconds")
+        self._ctr_shots = obs.counter("sim.shots")
+        self._ctr_kills = obs.counter("sim.kills")
         self.rng = random.Random(self.config.seed)
         self.physics = Physics(
             self.game_map, PhysicsConfig(frame_seconds=self.config.frame_seconds)
@@ -105,7 +111,8 @@ class DeathmatchSimulator:
             seed=self.config.seed,
         )
         for frame in range(self.config.num_frames):
-            self._step_frame(frame, trace)
+            with self._hist_frame.time():
+                self._step_frame(frame, trace)
         return trace
 
     def _step_frame(self, frame: int, trace: GameTrace) -> None:
@@ -184,6 +191,7 @@ class DeathmatchSimulator:
             return
         self._last_shot_frame[shooter_id] = frame
         shooter.ammo -= spec.ammo_per_shot
+        self._ctr_shots.inc()
 
         outcome = resolve_shot(
             self.game_map,
@@ -211,6 +219,7 @@ class DeathmatchSimulator:
             target.take_damage(outcome.damage)
             if not target.alive:
                 shooter.kills += 1
+                self._ctr_kills.inc()
                 trace.kills.append(
                     KillEvent(
                         frame=frame,
@@ -252,6 +261,7 @@ def generate_trace(
     seed: int = 7,
     npc_fraction: float = 0.0,
     game_map: GameMap | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> GameTrace:
     """Convenience wrapper: run one deathmatch and return its trace."""
     config = SimulationConfig(
@@ -260,4 +270,4 @@ def generate_trace(
         seed=seed,
         npc_fraction=npc_fraction,
     )
-    return DeathmatchSimulator(config, game_map=game_map).run()
+    return DeathmatchSimulator(config, game_map=game_map, registry=registry).run()

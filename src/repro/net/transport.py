@@ -18,6 +18,7 @@ from repro.net.bandwidth import BandwidthMeter, UploadBudget
 from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix
 from repro.net.nat import Reachability
+from repro.obs.registry import MetricsRegistry, get_registry
 
 __all__ = ["Datagram", "NetworkConfig", "DatagramNetwork"]
 
@@ -59,6 +60,7 @@ class DatagramNetwork:
         config: NetworkConfig | None = None,
         budget: UploadBudget | None = None,
         reachability: Reachability | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.queue = queue
         self.latency = latency
@@ -73,6 +75,17 @@ class DatagramNetwork:
         self.lost = 0
         self.blocked_by_nat = 0
         self.dropped_over_budget = 0
+        # Observability: per-message-type send counters/bytes plus a
+        # delivery-latency histogram.  Handles are bound once here, so a
+        # disabled registry costs one no-op call per event.
+        obs = registry if registry is not None else get_registry()
+        self._obs = obs
+        self._sent_by_type: dict[type, tuple] = {}
+        self._ctr_sent = obs.counter("net.datagrams.sent")
+        self._ctr_lost = obs.counter("net.datagrams.lost")
+        self._ctr_delivered = obs.counter("net.datagrams.delivered")
+        self._ctr_bytes = obs.counter("net.bytes.sent")
+        self._hist_delivery = obs.histogram("net.delivery_seconds")
 
     def register(self, node_id: int, handler: Callable[[Datagram], None]) -> None:
         """Attach the receive handler for ``node_id``."""
@@ -102,8 +115,21 @@ class DatagramNetwork:
 
         self.meter.record_send(src, size_bytes, now)
         self.sent += 1
+        self._ctr_sent.inc()
+        self._ctr_bytes.inc(size_bytes)
+        per_type = self._sent_by_type.get(type(payload))
+        if per_type is None:
+            kind = type(payload).__name__
+            per_type = (
+                self._obs.counter(f"net.sent.{kind}.count"),
+                self._obs.counter(f"net.sent.{kind}.bytes"),
+            )
+            self._sent_by_type[type(payload)] = per_type
+        per_type[0].inc()
+        per_type[1].inc(size_bytes)
         if src != dst and self.rng.random() < self.config.loss_rate:
             self.lost += 1
+            self._ctr_lost.inc()
             return True
 
         delay = self.latency.one_way(src, dst)
@@ -124,6 +150,8 @@ class DatagramNetwork:
         if handler is None:
             return  # node left the game; datagram evaporates
         self.delivered += 1
+        self._ctr_delivered.inc()
+        self._hist_delivery.record(datagram.delivered_at - datagram.sent_at)
         self.meter.record_receive(
             datagram.dst, datagram.size_bytes, datagram.delivered_at
         )

@@ -1,0 +1,50 @@
+"""Unified observability: metrics registry, phase timers, bench artifacts.
+
+See ``docs/OBSERVABILITY.md`` for the registry API, the JSON schemas and
+how CI consumes them.  Quick taste::
+
+    from repro.obs import MetricsRegistry
+    from repro.core import WatchmenSession
+
+    registry = MetricsRegistry()
+    report = WatchmenSession(trace, registry=registry).run()
+    print(registry.snapshot()["histograms"]["session.frame_seconds"])
+"""
+
+from repro.obs.emit import (
+    BENCH_SCHEMA,
+    MetricDelta,
+    bench_row,
+    diff_rows,
+    format_diff,
+    load_bench_rows,
+    write_bench_json,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricDelta",
+    "MetricsRegistry",
+    "bench_row",
+    "diff_rows",
+    "exponential_buckets",
+    "format_diff",
+    "get_registry",
+    "load_bench_rows",
+    "set_registry",
+    "use_registry",
+    "write_bench_json",
+]

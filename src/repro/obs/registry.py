@@ -1,0 +1,386 @@
+"""A dependency-free metrics registry for the whole reproduction.
+
+The paper is an engineering-budget argument (50 ms frames, ≤150 ms
+end-to-end, per-node kbps vs the 120·n kbps client-server figure), so the
+codebase needs first-class measurements, not printf.  This module provides
+the three classic instrument kinds plus wall-clock phase timers:
+
+- :class:`Counter` — monotonically increasing event/byte counts;
+- :class:`Gauge` — last-written values (bandwidth, roster sizes);
+- :class:`Histogram` — fixed-bucket distributions with p50/p95/p99/max
+  (frame times, verification latencies, delivery delays, update ages).
+
+Design constraints, in order:
+
+1. **Near-zero overhead when disabled.**  A disabled registry hands out
+   shared null singletons whose methods are no-ops and whose timers never
+   call :func:`time.perf_counter`; instrumented code binds its metric
+   handles once at construction, so the steady-state cost of disabled
+   instrumentation is one no-op method call per event and zero
+   allocations.
+2. **No dependencies.**  Pure stdlib, single-threaded by design (the
+   whole simulation is a discrete-event loop).
+3. **Machine-readable.**  :meth:`MetricsRegistry.snapshot` returns plain
+   dicts ready for ``json.dumps`` — the schema CI's bench-diff consumes
+   (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TIMER",
+    "exponential_buckets",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """Geometric bucket upper bounds: ``start * factor**i`` for i < count."""
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+#: Default buckets for second-valued timers: 2 µs .. ~17 s, ×2 steps.
+TIME_BUCKETS = exponential_buckets(2e-6, 2.0, 24)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class _Timer:
+    """Context manager recording elapsed wall seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> _Timer:
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.record(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum/min/max.
+
+    ``bounds`` are inclusive upper edges; values above the last bound land
+    in an overflow bucket whose effective upper edge is the observed max.
+    Percentiles interpolate linearly inside the containing bucket, so with
+    buckets much finer than the distribution the error is a fraction of
+    one bucket width.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max", "_timer")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+        self.name = name
+        self.bounds = tuple(sorted(bounds)) if bounds else TIME_BUCKETS
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = [0] * (len(self.bounds) + 1)  # +1 = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._timer = _Timer(self)
+
+    def record(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def time(self) -> _Timer:
+        """Context manager feeding this histogram in seconds.
+
+        The timer instance is shared to keep the hot path allocation-free;
+        nesting the *same* histogram's timer is not supported (use
+        ``_Timer(histogram)`` directly for that).
+        """
+        return self._timer
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]) via in-bucket interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.min if index == 0 else self.bounds[index - 1]
+                upper = self.max if index == len(self.bounds) else self.bounds[index]
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return lower
+                fraction = (target - cumulative) / bucket_count
+                return lower + fraction * (upper - lower)
+            cumulative += bucket_count
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """The snapshot row: count/sum/mean/min/max/p50/p95/p99."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class _NullTimer:
+    """Shared no-op timer: no clock reads, no allocation per use."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullTimer:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        return None
+
+    def add(self, delta: float) -> None:
+        return None
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "<null>"
+    count = 0
+    mean = 0.0
+
+    def record(self, value: float) -> None:
+        return None
+
+    def time(self) -> _NullTimer:
+        return NULL_TIMER
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {"count": 0}
+
+
+NULL_TIMER = _NullTimer()
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Names → instruments; the one place a snapshot is read from.
+
+    A disabled registry (``enabled=False``) returns the shared null
+    singletons from every factory, so instrumented code pays a no-op
+    method call per event and allocates nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ---- instrument factories ---------------------------------------------
+
+    def counter(self, name: str) -> Counter | _NullCounter:
+        if not self.enabled:
+            return NULL_COUNTER
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge | _NullGauge:
+        if not self.enabled:
+            return NULL_GAUGE
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] | None = None
+    ) -> Histogram | _NullHistogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, bounds)
+        return histogram
+
+    # ---- phase timing ------------------------------------------------------
+
+    def phase_timer(self, name: str) -> _Timer | _NullTimer:
+        """``with registry.phase_timer("x"):`` → seconds into histogram x."""
+        if not self.enabled:
+            return NULL_TIMER
+        return self.histogram(name).time()
+
+    #: Alias: a span is a phase timer.
+    span = phase_timer
+
+    # ---- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ---- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-dict view of every instrument, ready for ``json.dumps``."""
+        return {
+            "enabled": self.enabled,
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def flat_metrics(self) -> dict[str, float]:
+        """Flatten the snapshot into one scalar map (bench-diff rows).
+
+        Counters and gauges keep their names; each histogram contributes
+        ``<name>.p50/.p95/.p99/.max/.mean/.count``.
+        """
+        flat: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, gauge in self._gauges.items():
+            flat[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            summary = histogram.summary()
+            for stat in ("p50", "p95", "p99", "max", "mean", "count"):
+                if stat in summary:
+                    flat[f"{name}.{stat}"] = summary[stat]
+        return dict(sorted(flat.items()))
+
+
+#: The process-wide default registry: disabled, so uninstrumented runs
+#: (unit tests, plain library use) pay only no-op calls.
+_default_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The current process-wide registry (disabled unless swapped in)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide default; returns the old one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+class use_registry:
+    """Context manager: temporarily install a registry process-wide."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._previous: MetricsRegistry | None = None
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = set_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._previous is not None
+        set_registry(self._previous)

@@ -25,6 +25,10 @@ from repro.analysis.report import (
 from repro.net.latency import king_like, peerwise_like
 
 
+#: Full-session integration tests: deselect with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
+
 class TestUpdateAge:
     @pytest.fixture(scope="class")
     def results(self, small_trace, longest_yard):

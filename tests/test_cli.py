@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 from repro.game import GameTrace
+from repro.obs import bench_row, write_bench_json
 
 
 @pytest.fixture()
@@ -64,6 +68,94 @@ class TestReplay:
     def test_replay_with_server(self, trace_path, capsys):
         assert main(["replay", str(trace_path), "--servers", "1"]) == 0
         assert "server" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_module_entrypoint_matches(self):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        import repro
+
+        src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ, PYTHONPATH=src)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 0
+        assert f"repro {__version__}" in result.stdout
+
+
+class TestMetrics:
+    def test_metrics_summary(self, capsys):
+        assert main([
+            "metrics", "--players", "6", "--frames", "40", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "frame time" in out
+        assert "bandwidth" in out
+
+    def test_metrics_json_stdout(self, capsys):
+        assert main([
+            "metrics", "--players", "6", "--frames", "40", "--json", "-",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["histograms"]["session.frame_seconds"]["count"] == 40
+        assert snapshot["counters"]["net.sent.StateUpdate.count"] > 0
+        assert snapshot["gauges"]["net.upload_kbps.mean"] > 0
+
+    def test_metrics_json_file(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert main([
+            "metrics", "--players", "6", "--frames", "40",
+            "--json", str(out),
+        ]) == 0
+        snapshot = json.loads(out.read_text(encoding="utf-8"))
+        assert snapshot["enabled"] is True
+
+
+class TestBenchDiff:
+    @staticmethod
+    def write(path, **metrics):
+        write_bench_json(path, bench_row("b", metrics=metrics))
+
+    def test_identical_artifacts_pass(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self.write(old, kbps=100.0)
+        self.write(new, kbps=100.0)
+        assert main(["bench-diff", str(old), str(new)]) == 0
+
+    def test_regression_fails(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self.write(old, kbps=100.0)
+        self.write(new, kbps=160.0)
+        assert main(["bench-diff", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self.write(old, kbps=100.0)
+        self.write(new, kbps=160.0)
+        assert main([
+            "bench-diff", str(old), str(new), "--threshold", "0.7",
+        ]) == 0
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        self.write(old, kbps=1.0)
+        assert main(["bench-diff", str(old), str(tmp_path / "nope.json")]) == 2
+        assert "bench-diff" in capsys.readouterr().err
 
 
 class TestExperiment:

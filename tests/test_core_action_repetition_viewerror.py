@@ -11,6 +11,10 @@ from repro.game.vector import Vec3
 from repro.net.latency import uniform_lan
 
 
+#: Full-session integration tests: deselect with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
+
 def snap(player_id=1, frame=0, position=Vec3(0, -500, 0), velocity=Vec3(),
          yaw=0.0, alive=True):
     return AvatarSnapshot(

@@ -10,6 +10,10 @@ from repro.game.weapons import WEAPONS
 from repro.net.latency import uniform_lan
 
 
+#: Full-session integration tests: deselect with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
+
 def snap(player_id=1, frame=0, x=0.0, weapon="rocket-launcher"):
     return AvatarSnapshot(
         player_id=player_id,

@@ -20,6 +20,10 @@ from repro.core import WatchmenConfig, WatchmenSession
 from repro.core.verification import CheckKind
 
 
+#: Full-session integration tests: deselect with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
+
 CHEATER = 0
 
 

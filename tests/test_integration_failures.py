@@ -13,6 +13,10 @@ from repro.net.nat import NatProfile, NatType, Reachability
 from repro.net.transport import NetworkConfig
 
 
+#: Full-session integration tests: deselect with `-m "not slow"`.
+pytestmark = pytest.mark.slow
+
+
 class TestHeavyLoss:
     @pytest.fixture(scope="class")
     def lossy_report(self, small_trace, longest_yard):
