@@ -1,7 +1,13 @@
 """``python -m repro`` — the reproduction toolkit CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Output piped into a pager/head that exited early; not an error.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

@@ -15,12 +15,9 @@ from repro.baselines import WatchmenModel
 from repro.cheats import (
     AimbotCheat,
     BlindOpponentCheat,
-    BogusSubscriptionCheat,
     ConsistencyCheat,
     EscapingCheat,
-    FakeKillCheat,
     FastRateCheat,
-    GuidanceLieCheat,
     MaphackProbe,
     NetworkFloodCheat,
     ReplayCheat,
@@ -32,9 +29,10 @@ from repro.cheats import (
 )
 from repro.cheats.base import CheatBehaviour
 from repro.core.config import WatchmenConfig
-from repro.core.protocol import WatchmenSession
+from repro.core.protocol import SessionReport, WatchmenSession
 from repro.core.proxy import ProxySchedule
 from repro.core.verification import CheckKind
+from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap
 from repro.game.interest import InterestConfig
 from repro.game.trace import GameTrace
@@ -75,7 +73,7 @@ class CheatOutcome:
 
 
 def _detection_evidence(
-    report, cheater_id: int, checks: tuple[str, ...], threshold: float = 5.0
+    report: SessionReport, cheater_id: int, checks: tuple[str, ...], threshold: float = 5.0
 ) -> tuple[int, str]:
     hits = [
         r
@@ -95,7 +93,7 @@ def _run_with_cheat(
     config: WatchmenConfig,
     cheater_id: int,
     cheat: CheatBehaviour,
-):
+) -> tuple[WatchmenSession, SessionReport]:
     wire_cheat(cheat, cheater_id, trace, game_map, config)
     session = WatchmenSession(
         trace, game_map=game_map, config=config, behaviours={cheater_id: cheat}
@@ -121,7 +119,15 @@ def cheat_matrix_experiment(
 
     outcomes: list[CheatOutcome] = []
 
-    def add(name, category, paper, status, evidence, detections, actions):
+    def add(
+        name: str,
+        category: str,
+        paper: str,
+        status: str,
+        evidence: str,
+        detections: int,
+        actions: int,
+    ) -> None:
         outcomes.append(
             CheatOutcome(name, category, paper, status, evidence, detections, actions)
         )
@@ -193,7 +199,7 @@ def cheat_matrix_experiment(
 
     cheat = AimbotCheat(cheat_rate=0.25, seed=seed)
 
-    def best_snap_target(frame: int):
+    def best_snap_target(frame: int) -> AvatarSnapshot | None:
         """The enemy whose direction differs most from the current aim —
         the case where an aimbot's instant snap is most visible."""
         import math
@@ -209,7 +215,7 @@ def cheat_matrix_experiment(
         if not candidates:
             return None
 
-        def yaw_delta(s):
+        def yaw_delta(s: AvatarSnapshot) -> float:
             to_target = (s.position - me.position).yaw()
             return abs((to_target - me.yaw + math.pi) % (2 * math.pi) - math.pi)
 

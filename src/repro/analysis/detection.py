@@ -35,7 +35,7 @@ from repro.core.protocol import SessionReport, WatchmenSession
 from repro.core.proxy import ProxySchedule
 from repro.core.verification import CheckKind
 from repro.game.gamemap import GameMap, eye_position
-from repro.game.interest import InterestConfig, in_vision_cone
+from repro.game.interest import in_vision_cone
 from repro.game.trace import GameTrace
 from repro.net.latency import LatencyMatrix
 

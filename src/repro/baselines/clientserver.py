@@ -26,7 +26,7 @@ class ClientServerModel:
 
     name = "client-server"
 
-    def __init__(self, game_map: GameMap, pvs_radius: float = 2500.0):
+    def __init__(self, game_map: GameMap, pvs_radius: float = 2500.0) -> None:
         self.game_map = game_map
         self.pvs_radius = pvs_radius
         self._visible: dict[int, set[int]] = {}

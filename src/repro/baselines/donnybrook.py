@@ -36,7 +36,7 @@ class DonnybrookModel:
         self,
         config: InterestConfig | None = None,
         recency: InteractionRecency | None = None,
-    ):
+    ) -> None:
         self.config = config or InterestConfig()
         self.recency = recency
         self._interest: dict[int, frozenset[int]] = {}

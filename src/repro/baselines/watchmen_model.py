@@ -34,7 +34,7 @@ class WatchmenModel:
         schedule: ProxySchedule,
         config: InterestConfig | None = None,
         recency: InteractionRecency | None = None,
-    ):
+    ) -> None:
         self.game_map = game_map
         self.schedule = schedule
         self.config = config or InterestConfig()

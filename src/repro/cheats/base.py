@@ -19,10 +19,11 @@ rates.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
 
 from repro.core.messages import GameMessage
+from repro.game.avatar import AvatarSnapshot
 
 __all__ = ["CheatBehaviour", "CheatLog"]
 
@@ -58,16 +59,16 @@ class CheatBehaviour:
 
     name = "honest"
 
-    def __init__(self, cheat_rate: float = 0.10, seed: int = 0):
+    def __init__(self, cheat_rate: float = 0.10, seed: int = 0) -> None:
         if not 0.0 <= cheat_rate <= 1.0:
             raise ValueError("cheat_rate must be in [0, 1]")
         self.cheat_rate = cheat_rate
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.log = CheatLog()
 
     # -- NodeBehaviour hooks (honest defaults) -------------------------------
 
-    def mutate_snapshot(self, frame: int, snapshot):
+    def mutate_snapshot(self, frame: int, snapshot: AvatarSnapshot) -> AvatarSnapshot:
         del frame
         return snapshot
 

@@ -12,7 +12,7 @@ are averaged.
 
 from __future__ import annotations
 
-import random
+from random import Random
 
 from repro.baselines.base import DisseminationModel
 from repro.core.disclosure import (
@@ -26,7 +26,7 @@ __all__ = ["Coalition", "sample_coalitions"]
 class Coalition:
     """A fixed set of colluding players."""
 
-    def __init__(self, members: set[int]):
+    def __init__(self, members: set[int]) -> None:
         if not members:
             raise ValueError("a coalition needs at least one member")
         self.members = frozenset(members)
@@ -65,5 +65,5 @@ def sample_coalitions(
     within a coalition; coalitions may repeat for small populations)."""
     if size < 1 or size > len(players):
         raise ValueError("coalition size out of range")
-    rng = random.Random(seed)
+    rng = Random(seed)
     return [Coalition(set(rng.sample(players, size))) for _ in range(count)]

@@ -39,11 +39,13 @@ class EscapingCheat(CheatBehaviour):
 
     name = "escaping"
 
-    def __init__(self, escape_frame: int, seed: int = 0):
+    def __init__(self, escape_frame: int, seed: int = 0) -> None:
         super().__init__(cheat_rate=1.0, seed=seed)
         self.escape_frame = escape_frame
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         if frame >= self.escape_frame:
             self.log.record_cheat(frame)
             return []
@@ -61,19 +63,21 @@ class TimeCheat(CheatBehaviour):
 
     name = "time-cheat"
 
-    def __init__(self, delay_frames: int = 10, seed: int = 0):
+    def __init__(self, delay_frames: int = 10, seed: int = 0) -> None:
         super().__init__(cheat_rate=1.0, seed=seed)
         if delay_frames < 1:
             raise ValueError("delay_frames must be at least 1")
         self.delay_frames = delay_frames
         self._held: list[tuple[int, GameMessage, int]] = []
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         self._held.append((frame + self.delay_frames, message, destination))
         self.log.record_cheat(frame)
         return []
 
-    def extra_messages(self, frame):
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
         due = [(m, d) for release, m, d in self._held if release <= frame]
         self._held = [
             (release, m, d) for release, m, d in self._held if release > frame
@@ -86,14 +90,16 @@ class FastRateCheat(CheatBehaviour):
 
     name = "fast-rate"
 
-    def __init__(self, multiplier: int = 3, cheat_rate: float = 1.0, seed: int = 0):
+    def __init__(self, multiplier: int = 3, cheat_rate: float = 1.0, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         if multiplier < 2:
             raise ValueError("multiplier must be at least 2")
         self.multiplier = multiplier
         self._extra_sequence = 1_000_000  # fabricated sequence space
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         if not isinstance(message, StateUpdate) or not self._roll():
             return [(message, destination)]
         self.log.record_cheat(frame)
@@ -118,13 +124,15 @@ class SuppressCorrectCheat(CheatBehaviour):
 
     def __init__(
         self, burst_length: int = 8, cheat_rate: float = 0.05, seed: int = 0
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         self.burst_length = burst_length
         self._suppressing_until = -1
         self._suppressed_from: Vec3 | None = None
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         if not isinstance(message, StateUpdate):
             return [(message, destination)]
         if frame < self._suppressing_until:
@@ -152,10 +160,12 @@ class BlindOpponentCheat(CheatBehaviour):
 
     name = "blind-opponent"
 
-    def __init__(self, cheat_rate: float = 0.5, seed: int = 0):
+    def __init__(self, cheat_rate: float = 0.5, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         if isinstance(message, StateUpdate) and self._roll():
             self.log.record_cheat(frame)
             return []
@@ -167,7 +177,7 @@ class NetworkFloodCheat(CheatBehaviour):
 
     name = "network-flood"
 
-    def __init__(self, victim_id: int, amplification: int = 10, seed: int = 0):
+    def __init__(self, victim_id: int, amplification: int = 10, seed: int = 0) -> None:
         super().__init__(cheat_rate=1.0, seed=seed)
         if amplification < 1:
             raise ValueError("amplification must be positive")
@@ -175,7 +185,9 @@ class NetworkFloodCheat(CheatBehaviour):
         self.amplification = amplification
         self._extra_sequence = 2_000_000
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         self.log.record_cheat(frame)
         flood = [(message, destination)]
         for _ in range(self.amplification):

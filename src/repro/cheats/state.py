@@ -28,6 +28,7 @@ from repro.core.messages import (
     StateUpdate,
     SubscriptionRequest,
 )
+from repro.game.avatar import AvatarSnapshot
 from repro.game.deadreckoning import GuidancePrediction
 from repro.game.vector import Vec3
 
@@ -58,14 +59,14 @@ class SpeedHack(CheatBehaviour):
 
     def __init__(
         self, factor: float = 2.0, cheat_rate: float = 0.10, seed: int = 0
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         if factor <= 1.0:
             raise ValueError("factor must exceed 1 to be a speed-up")
         self.factor = factor
         self._offset = Vec3.zero()
 
-    def mutate_snapshot(self, frame, snapshot):
+    def mutate_snapshot(self, frame: int, snapshot: AvatarSnapshot) -> AvatarSnapshot:
         if snapshot.alive and self._roll():
             step = snapshot.velocity * (0.05 * (self.factor - 1.0))
             if step.length() < 1.0:
@@ -85,12 +86,12 @@ class TeleportCheat(CheatBehaviour):
 
     def __init__(
         self, distance: float = 600.0, cheat_rate: float = 0.02, seed: int = 0
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         self.distance = distance
         self._offset = Vec3.zero()
 
-    def mutate_snapshot(self, frame, snapshot):
+    def mutate_snapshot(self, frame: int, snapshot: AvatarSnapshot) -> AvatarSnapshot:
         if snapshot.alive and self._roll():
             import math
 
@@ -113,7 +114,7 @@ class FakeKillCheat(CheatBehaviour):
         weapon: str = "railgun",
         cheat_rate: float = 0.02,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         if not victim_ids:
             raise ValueError("need candidate victims")
@@ -123,7 +124,7 @@ class FakeKillCheat(CheatBehaviour):
         self.player_id: int | None = None  # filled by the harness
         self.proxy_lookup = None  # frame -> my proxy id, filled by harness
 
-    def extra_messages(self, frame):
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
         if self.player_id is None or self.proxy_lookup is None:
             return []
         if not self._roll():
@@ -147,10 +148,12 @@ class GuidanceLieCheat(CheatBehaviour):
 
     name = "guidance-lie"
 
-    def __init__(self, cheat_rate: float = 0.5, seed: int = 0):
+    def __init__(self, cheat_rate: float = 0.5, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         if not isinstance(message, GuidanceMessage):
             return [(message, destination)]
         if not message.snapshot.alive:
@@ -189,7 +192,7 @@ class BogusSubscriptionCheat(CheatBehaviour):
         kind: str = SUB_INTEREST,
         cheat_rate: float = 0.10,
         seed: int = 0,
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         if kind not in (SUB_INTEREST, SUB_VISION):
             raise ValueError("kind must be an IS or VS subscription")
@@ -199,7 +202,7 @@ class BogusSubscriptionCheat(CheatBehaviour):
         self.proxy_lookup = None
         self.invisible_targets = None  # frame -> list of player ids
 
-    def extra_messages(self, frame):
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
         if (
             self.player_id is None
             or self.proxy_lookup is None
@@ -235,11 +238,11 @@ class AimbotCheat(CheatBehaviour):
 
     name = "aimbot"
 
-    def __init__(self, cheat_rate: float = 0.10, seed: int = 0):
+    def __init__(self, cheat_rate: float = 0.10, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         self.target_source = None  # harness: frame -> target AvatarSnapshot
 
-    def mutate_snapshot(self, frame, snapshot):
+    def mutate_snapshot(self, frame: int, snapshot: AvatarSnapshot) -> AvatarSnapshot:
         if self.target_source is None or not snapshot.alive:
             return snapshot
         if not self._roll():
@@ -269,7 +272,7 @@ class ReplayCheat(CheatBehaviour):
 
     name = "replay"
 
-    def __init__(self, cheat_rate: float = 0.05, seed: int = 0):
+    def __init__(self, cheat_rate: float = 0.05, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         self._captured: list[GameMessage] = []
         self.roster: list[int] | None = None  # filled by the harness
@@ -284,7 +287,7 @@ class ReplayCheat(CheatBehaviour):
         del frame, src
         self.capture(message)
 
-    def extra_messages(self, frame):
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
         if not self._captured or not self.roster or not self._roll():
             return []
         self.log.record_cheat(frame)
@@ -302,14 +305,14 @@ class SpoofCheat(CheatBehaviour):
 
     name = "spoof"
 
-    def __init__(self, victim_id: int, cheat_rate: float = 0.05, seed: int = 0):
+    def __init__(self, victim_id: int, cheat_rate: float = 0.05, seed: int = 0) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         self.victim_id = victim_id
         self._sequence = 5_000_000
         self.snapshot_source = None  # harness: frame -> victim AvatarSnapshot
         self.proxy_lookup = None
 
-    def extra_messages(self, frame):
+    def extra_messages(self, frame: int) -> list[tuple[GameMessage, int]]:
         if self.snapshot_source is None or self.proxy_lookup is None:
             return []
         if not self._roll():
@@ -341,14 +344,16 @@ class ConsistencyCheat(CheatBehaviour):
 
     def __init__(
         self, direct_victims: list[int], cheat_rate: float = 0.10, seed: int = 0
-    ):
+    ) -> None:
         super().__init__(cheat_rate=cheat_rate, seed=seed)
         if not direct_victims:
             raise ValueError("need victims for direct sends")
         self.direct_victims = list(direct_victims)
         self._sequence = 6_000_000
 
-    def filter_outgoing(self, frame, message, destination):
+    def filter_outgoing(
+        self, frame: int, message: GameMessage, destination: int
+    ) -> list[tuple[GameMessage, int]]:
         sends = [(message, destination)]
         if isinstance(message, StateUpdate) and self._roll():
             self.log.record_cheat(frame)

@@ -9,14 +9,17 @@ and proxy configurations, run the evaluation studies — as a CLI:
     python -m repro experiment all
     python -m repro metrics --players 12 --frames 120 --json -
     python -m repro bench-diff benchmarks/baseline.json BENCH_core.json
+    python -m repro lint --explain D102
 
 Every experiment prints the same rows/series the corresponding paper
 figure or table reports.  ``metrics`` runs a standard session with the
 observability registry enabled and prints/exports the snapshot;
-``bench-diff`` is the CI regression gate over two bench JSON artifacts.
+``bench-diff`` is the CI regression gate over two bench JSON artifacts;
+``lint`` is the determinism / protocol-conformance static analyzer
+(see :mod:`repro.lint` and ``docs/STATIC_ANALYSIS.md``).
 
-Exit codes: 0 success, 1 failure (e.g. a bench-diff regression),
-2 usage errors (argparse).
+Exit codes: 0 success, 1 failure (e.g. a bench-diff regression or a new
+lint violation), 2 usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -49,8 +52,9 @@ from repro.analysis.report import (
 )
 from repro import __version__
 from repro.core import WatchmenSession
+from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
-from repro.net.latency import king_like, peerwise_like, uniform_lan
+from repro.net.latency import LatencyMatrix, king_like, peerwise_like, uniform_lan
 from repro.net.transport import NetworkConfig
 from repro.obs import (
     MetricsRegistry,
@@ -150,10 +154,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also gate on wall_seconds (machine-dependent; off by default)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism / protocol-conformance / typing static analysis",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
-def _latency_for(name: str, size: int, seed: int):
+def _latency_for(name: str, size: int, seed: int) -> LatencyMatrix:
     if name == "king":
         return king_like(size, seed=seed)
     if name == "peerwise":
@@ -344,6 +354,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "metrics": cmd_metrics,
         "bench-diff": cmd_bench_diff,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -41,7 +41,7 @@ class ActionRepetitionVerifier:
         physics: Physics,
         directions: int = 12,
         tolerance: float = 2.5,
-    ):
+    ) -> None:
         if directions < 4:
             raise ValueError("need at least 4 candidate directions")
         self.physics = physics

@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.crypto.signatures import Signature
+
 __all__ = ["RemovalProposal", "MembershipView"]
 
 
@@ -43,7 +45,7 @@ class RemovalProposal:
     subject_id: int
     frame: int
     sequence: int
-    signature: object = None  # Signature | None (same envelope as others)
+    signature: Signature | None = None  # same envelope as every signed message
 
 
 @dataclass

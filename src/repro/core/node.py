@@ -55,10 +55,12 @@ from repro.core.verification import (
     RateVerifier,
     SubscriptionVerifier,
 )
+from repro.crypto.signatures import HmacSigner
 from repro.game.avatar import AvatarSnapshot, snapshot_delta_fields
-from repro.game.deadreckoning import predict_linear
+from repro.game.deadreckoning import GuidancePrediction, predict_linear
 from repro.game.gamemap import GameMap
 from repro.game.interest import InteractionRecency
+from repro.game.vector import Vec3
 from repro.game.physics import Physics
 from repro.obs.registry import (
     NULL_COUNTER,
@@ -198,7 +200,7 @@ class _ClientState:
             for frame in sorted(self.history)[: len(self.history) - keep]:
                 del self.history[frame]
 
-    def snapshot_near(self, frame: int, window: int = 4):
+    def snapshot_near(self, frame: int, window: int = 4) -> AvatarSnapshot | None:
         """The stored snapshot closest to ``frame`` within ``window``."""
         best = None
         best_gap = window + 1
@@ -219,13 +221,13 @@ class WatchmenNode:
         game_map: GameMap,
         config: WatchmenConfig,
         schedule: ProxySchedule,
-        signer,
+        signer: HmacSigner,
         send: Callable[[int, int, GameMessage, int], bool],
         behaviour: NodeBehaviour | None = None,
         rating_sink: Callable[[CheatRating], None] | None = None,
         is_server: bool = False,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.player_id = player_id
         #: Hybrid-architecture servers proxy and verify but never publish
         #: an avatar of their own (Section VI "Hybrid architecture").
@@ -371,7 +373,7 @@ class WatchmenNode:
         return dataclass_replace(snapshot, frame=frame, position=extrapolated)
 
     def announce_projectile(
-        self, frame: int, weapon: str, origin, velocity
+        self, frame: int, weapon: str, origin: Vec3, velocity: Vec3
     ) -> None:
         """Queue the announcement of a short-lived object we created."""
         self._pending_projectiles.append(
@@ -449,7 +451,7 @@ class WatchmenNode:
             )
             self._route_publication(position, my_proxy)
 
-    def _guidance_prediction(self, frame: int, snapshot: AvatarSnapshot):
+    def _guidance_prediction(self, frame: int, snapshot: AvatarSnapshot) -> GuidancePrediction:
         """Intent-informed dead reckoning for one's own avatar.
 
         When the player's upcoming inputs are known (``own_future``), the
@@ -464,8 +466,6 @@ class WatchmenNode:
             if ahead is not None and ahead.alive and snapshot.alive:
                 dt = self.config.frame_seconds * window
                 velocity = (ahead.position - snapshot.position) / dt
-                from repro.game.deadreckoning import GuidancePrediction
-
                 return GuidancePrediction(
                     frame=frame,
                     origin=snapshot.position,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import WatchmenConfig
 from repro.core.messages import GameMessage, GuidanceMessage, StateUpdate
@@ -26,7 +27,8 @@ from repro.core.reputation import ReputationBoard
 from repro.core.verification import CheatRating
 from repro.crypto.signatures import HmacSigner
 from repro.game.gamemap import GameMap, make_longest_yard
-from repro.game.trace import GameTrace
+from repro.game.avatar import AvatarSnapshot
+from repro.game.trace import GameTrace, ShotEvent
 from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix, king_like
 from repro.net.transport import Datagram, DatagramNetwork, NetworkConfig
@@ -98,7 +100,7 @@ class WatchmenSession:
         network_config: NetworkConfig | None = None,
         behaviours: dict[int, NodeBehaviour] | None = None,
         reputation: ReputationBoard | None = None,
-        signer=None,
+        signer: HmacSigner | None = None,
         departures: dict[int, int] | None = None,
         view_error_stride: int | None = None,
         servers: int = 0,
@@ -107,7 +109,7 @@ class WatchmenSession:
         proxy_pool: list[int] | None = None,
         pool_weights: dict[int, int] | None = None,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.trace = trace
         self.game_map = game_map or make_longest_yard()
         self.config = config or WatchmenConfig()
@@ -233,17 +235,21 @@ class WatchmenSession:
             raise TypeError("unexpected tuple payload")
         node.on_message(datagram.src, payload)  # type: ignore[arg-type]
 
-    def _future_oracle_for(self, player_id: int):
+    def _future_oracle_for(
+        self, player_id: int
+    ) -> Callable[[int], AvatarSnapshot | None]:
         """The player's own upcoming movement (his input intentions)."""
 
-        def future(frame: int):
+        def future(frame: int) -> AvatarSnapshot | None:
             if 0 <= frame < self.trace.num_frames:
                 return self.trace.frames[frame][player_id]
             return None
 
         return future
 
-    def _audience_oracle_for(self, player_id: int):
+    def _audience_oracle_for(
+        self, player_id: int
+    ) -> Callable[[int, GameMessage], list[int]]:
         """Relaxed-first-hop audience: read the live subscriber lists.
 
         Stands in for the proxy piggybacking the subscriber list back to
@@ -318,7 +324,9 @@ class WatchmenSession:
         if self.view_error_stride and frame % self.view_error_stride == 0:
             self._sample_view_error(frame, snapshots)
 
-    def _sample_view_error(self, frame: int, snapshots) -> None:
+    def _sample_view_error(
+        self, frame: int, snapshots: dict[int, AvatarSnapshot]
+    ) -> None:
         """Lag sample: rendered estimate vs true position, all pairs."""
         for observer_id in self.trace.player_ids():
             if observer_id in self.departures and frame >= self.departures[observer_id]:
@@ -334,7 +342,7 @@ class WatchmenSession:
                     estimate.position.distance_to(truth.position)
                 )
 
-    def _announce_projectile_if_any(self, frame: int, shot) -> None:
+    def _announce_projectile_if_any(self, frame: int, shot: ShotEvent) -> None:
         """Projectile shots create short-lived objects the shooter announces."""
         from repro.game.weapons import WEAPONS
 

@@ -46,7 +46,7 @@ class ProxySchedule:
         pool_weights: dict[int, int] | None = None,
         infrastructure: list[int] | None = None,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         if len(roster) < 2:
             raise ValueError("need at least two players for proxying")
         if len(set(roster)) != len(roster):

@@ -79,7 +79,7 @@ class ThresholdReputation:
     positive rates of the detection system".
     """
 
-    def __init__(self, ban_threshold: float = 0.85, min_reports: int = 20):
+    def __init__(self, ban_threshold: float = 0.85, min_reports: int = 20) -> None:
         if not 0.0 < ban_threshold <= 1.0:
             raise ValueError("ban_threshold must be in (0, 1]")
         self.ban_threshold = ban_threshold
@@ -128,7 +128,7 @@ class BetaReputation:
         ban_threshold: float = 0.80,
         min_evidence: float = 10.0,
         prior: float = 2.0,
-    ):
+    ) -> None:
         if not 0.0 < ban_threshold <= 1.0:
             raise ValueError("ban_threshold must be in (0, 1]")
         self.ban_threshold = ban_threshold

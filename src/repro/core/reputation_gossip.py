@@ -19,8 +19,10 @@ an in-memory peer set, which is what the convergence experiments need.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass, field
+
+from typing import Callable
 
 from repro.core.reputation import BetaReputation, InteractionTag
 
@@ -83,7 +85,7 @@ class GossipReputationNetwork:
     """Drives gossip rounds among a set of nodes."""
 
     def __init__(self, node_ids: list[int], seed: int = 0,
-                 system_factory=None):
+                 system_factory: Callable[[], BetaReputation] | None = None) -> None:
         if len(node_ids) < 2:
             raise ValueError("gossip needs at least two nodes")
         factory = system_factory or BetaReputation
@@ -91,7 +93,7 @@ class GossipReputationNetwork:
             node_id: GossipNode(node_id, system=factory())
             for node_id in node_ids
         }
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.rounds_run = 0
         self.tags_exchanged = 0
 

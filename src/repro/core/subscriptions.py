@@ -22,7 +22,6 @@ from repro.core.config import WatchmenConfig
 from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap
 from repro.game.interest import InteractionRecency, compute_sets
-from repro.game.vector import Vec3
 
 __all__ = ["SubscriptionPlanner", "SubscriberTable", "PlannedSubscriptions"]
 
@@ -47,7 +46,7 @@ class SubscriptionPlanner:
         game_map: GameMap,
         config: WatchmenConfig,
         recency: InteractionRecency | None = None,
-    ):
+    ) -> None:
         self.player_id = player_id
         self.game_map = game_map
         self.config = config

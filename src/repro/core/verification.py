@@ -18,13 +18,11 @@ keeps the false-positive rate at the paper's ≤5 % operating point.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace as dataclass_replace
+from dataclasses import dataclass, replace as dataclass_replace
 
 from repro.game.avatar import AvatarSnapshot
 from repro.game.deadreckoning import (
     GuidancePrediction,
-    simulate_guidance,
-    trajectory_deviation_area,
 )
 from repro.game.gamemap import GameMap, eye_position
 from repro.game.interest import InterestConfig, attention_score, in_vision_cone
@@ -171,7 +169,7 @@ class PositionVerifier:
         physics: Physics,
         tolerance: float = 1.10,
         max_gap_frames: int = 40,
-    ):
+    ) -> None:
         self.physics = physics
         self.tolerance = tolerance
         self.max_gap_frames = max_gap_frames
@@ -238,7 +236,7 @@ class AimVerifier:
         frame_seconds: float = 0.05,
         tolerance: float = 1.3,
         max_gap_frames: int = 5,
-    ):
+    ) -> None:
         self.max_turn_rate = max_turn_rate
         self.frame_seconds = frame_seconds
         self.tolerance = tolerance
@@ -294,7 +292,7 @@ class GuidanceVerifier:
         calibration: DeviationCalibration | None = None,
         sigmas: float = 2.0,
         check_horizon_frames: int = 8,
-    ):
+    ) -> None:
         self.frame_seconds = frame_seconds
         self.calibration = calibration or DeviationCalibration(fallback=60.0)
         self.sigmas = sigmas
@@ -394,11 +392,13 @@ class ProjectileTracker:
     claims ("a rocket was effectively fired").
     """
 
-    def __init__(self, max_age_frames: int = 80):
+    def __init__(self, max_age_frames: int = 80) -> None:
         self.max_age_frames = max_age_frames
         self._spawns: dict[int, list] = {}  # owner -> [(frame, weapon, origin, velocity)]
 
-    def record(self, owner_id: int, frame: int, weapon: str, origin, velocity) -> None:
+    def record(
+        self, owner_id: int, frame: int, weapon: str, origin: Vec3, velocity: Vec3
+    ) -> None:
         spawns = self._spawns.setdefault(owner_id, [])
         spawns.append((frame, weapon, origin, velocity))
         cutoff = frame - self.max_age_frames
@@ -410,8 +410,8 @@ class ProjectileTracker:
         spawn_frame: int,
         owner_id: int,
         weapon: str,
-        origin,
-        velocity,
+        origin: Vec3,
+        velocity: Vec3,
         owner_snapshot: AvatarSnapshot | None,
         confidence: float,
     ) -> CheatRating:
@@ -463,7 +463,7 @@ class ProjectileTracker:
         owner_id: int,
         weapon: str,
         claim_frame: int,
-        target_position,
+        target_position: Vec3,
         frame_seconds: float = 0.05,
     ) -> tuple[float, int] | None:
         """(min distance, flight frames) of the best matching spawn.
@@ -514,7 +514,7 @@ class KillVerifier:
         game_map: GameMap,
         range_tolerance: float = 1.15,
         projectiles: "ProjectileTracker | None" = None,
-    ):
+    ) -> None:
         self.game_map = game_map
         self.range_tolerance = range_tolerance
         self.projectiles = projectiles
@@ -645,7 +645,7 @@ class SubscriptionVerifier:
         interest: InterestConfig,
         repeat_window_frames: int = 200,
         repeat_step: float = 1.5,
-    ):
+    ) -> None:
         self.game_map = game_map
         self.interest = interest
         # Honest "ghost" subscriptions (planned on stale target info) are
@@ -844,7 +844,7 @@ class RateVerifier:
         window_frames: int = 40,
         silence_allowance_frames: int = 8,
         skew_allowance_frames: int = 6,
-    ):
+    ) -> None:
         self.expected_interval = expected_interval_frames
         self.window = window_frames
         self.silence_allowance = silence_allowance_frames

@@ -1,0 +1,199 @@
+"""The serialization boundary: GameMessage <-> JSON-safe dicts.
+
+The simulated network passes Python objects, but persistence (traces of
+protocol traffic), cross-process deployment and the conformance analyzer
+all need an explicit, total codec.  ``MESSAGE_TYPES`` is the registry the
+``P203`` lint rule cross-references against the ``GameMessage`` union:
+adding a message type without registering it here fails ``repro lint``.
+
+Encoding is structural — driven by the dataclass field types — so a new
+field on an existing message round-trips without codec edits; only *new
+message types* need a registry entry.  The encoding is canonical (sorted
+keys, no whitespace) so encoded bytes are stable across nodes, which is
+what lets them be hashed or signed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+from typing import Any, Union
+
+from repro.core.membership import RemovalProposal
+from repro.core.messages import (
+    GameMessage,
+    GuidanceMessage,
+    HandoffMessage,
+    HandoffSummary,
+    KillClaim,
+    PositionUpdate,
+    ProjectileSpawn,
+    StateUpdate,
+    SubscriptionRequest,
+)
+from repro.crypto.signatures import Signature
+from repro.game.avatar import AvatarSnapshot
+from repro.game.deadreckoning import GuidancePrediction
+from repro.game.vector import Vec3
+
+__all__ = [
+    "MESSAGE_TYPES",
+    "WireError",
+    "encode_message",
+    "decode_message",
+    "encode_bytes",
+    "decode_bytes",
+]
+
+
+class WireError(ValueError):
+    """Raised for unknown message types or malformed wire payloads."""
+
+
+#: Registry of every message type that crosses the wire.  The P203 lint
+#: rule fails when a GameMessage union member is missing here.
+MESSAGE_TYPES: dict[str, type] = {
+    "StateUpdate": StateUpdate,
+    "PositionUpdate": PositionUpdate,
+    "GuidanceMessage": GuidanceMessage,
+    "SubscriptionRequest": SubscriptionRequest,
+    "KillClaim": KillClaim,
+    "ProjectileSpawn": ProjectileSpawn,
+    "HandoffMessage": HandoffMessage,
+    "RemovalProposal": RemovalProposal,
+}
+
+#: Payload dataclasses that appear as message fields (encoded as dicts).
+_PAYLOAD_TYPES = (AvatarSnapshot, GuidancePrediction, HandoffSummary, Vec3)
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, Signature):
+        return {
+            "scheme": value.scheme,
+            "signer_id": value.signer_id,
+            "data": value.data.hex(),
+        }
+    if isinstance(value, _PAYLOAD_TYPES):
+        return {
+            field.name: _encode_value(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return [_encode_value(item) for item in value]
+    raise WireError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_message(message: GameMessage) -> dict[str, Any]:
+    """One message as a JSON-safe dict, tagged with its type name."""
+    name = type(message).__name__
+    if name not in MESSAGE_TYPES:
+        raise WireError(f"unregistered message type {name}")
+    return {
+        "type": name,
+        **{
+            field.name: _encode_value(getattr(message, field.name))
+            for field in dataclasses.fields(message)
+        },
+    }
+
+
+def _hints_for(cls: type) -> dict[str, Any]:
+    # Resolved once per class; `from __future__ import annotations` makes
+    # every hint a string until this call.
+    cached = _HINTS_CACHE.get(cls)
+    if cached is None:
+        cached = typing.get_type_hints(cls)
+        _HINTS_CACHE[cls] = cached
+    return cached
+
+
+_HINTS_CACHE: dict[type, dict[str, Any]] = {}
+
+
+def _decode_value(declared: Any, data: Any) -> Any:
+    origin = typing.get_origin(declared)
+    if origin in (Union, types.UnionType):
+        arms = [a for a in typing.get_args(declared) if a is not type(None)]
+        if data is None:
+            return None
+        if len(arms) != 1:
+            raise WireError(f"ambiguous union {declared!r}")
+        return _decode_value(arms[0], data)
+    if origin is tuple:
+        args = typing.get_args(declared)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_decode_value(args[0], item) for item in data)
+        return tuple(
+            _decode_value(arm, item) for arm, item in zip(args, data, strict=True)
+        )
+    if origin is frozenset:
+        (arm,) = typing.get_args(declared)
+        return frozenset(_decode_value(arm, item) for item in data)
+    if declared is Signature:
+        if not isinstance(data, dict):
+            raise WireError("signature payload must be an object")
+        return Signature(
+            scheme=data["scheme"],
+            signer_id=data["signer_id"],
+            data=bytes.fromhex(data["data"]),
+        )
+    if declared is bytes:
+        return bytes.fromhex(data)
+    if dataclasses.is_dataclass(declared):
+        if not isinstance(data, dict):
+            raise WireError(
+                f"{declared.__name__} payload must be an object, got {type(data).__name__}"
+            )
+        hints = _hints_for(declared)
+        kwargs = {
+            field.name: _decode_value(hints[field.name], data[field.name])
+            for field in dataclasses.fields(declared)
+        }
+        return declared(**kwargs)
+    if declared is float and isinstance(data, int):
+        return float(data)
+    if declared in (int, float, str, bool, object) or declared is Any:
+        return data
+    raise WireError(f"cannot decode declared type {declared!r}")
+
+
+def decode_message(data: dict[str, Any]) -> GameMessage:
+    """Inverse of :func:`encode_message`; raises WireError on bad input."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise WireError("wire payload must be a dict with a 'type' tag")
+    cls = MESSAGE_TYPES.get(data["type"])
+    if cls is None:
+        raise WireError(f"unknown message type {data['type']!r}")
+    hints = _hints_for(cls)
+    try:
+        kwargs = {
+            field.name: _decode_value(hints[field.name], data[field.name])
+            for field in dataclasses.fields(cls)
+        }
+    except KeyError as error:
+        raise WireError(f"{data['type']}: missing field {error}") from error
+    return cls(**kwargs)
+
+
+def encode_bytes(message: GameMessage) -> bytes:
+    """Canonical UTF-8 JSON bytes (sorted keys — stable across nodes)."""
+    return json.dumps(
+        encode_message(message), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_bytes(payload: bytes) -> GameMessage:
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"undecodable wire bytes: {error}") from error
+    return decode_message(data)

@@ -37,7 +37,7 @@ def draw_uint(common_seed: bytes, player_id: int, counter: int) -> int:
 class VerifiablePrng:
     """A stateful view over :func:`draw_uint` for one player id."""
 
-    def __init__(self, common_seed: bytes, player_id: int, counter: int = 0):
+    def __init__(self, common_seed: bytes, player_id: int, counter: int = 0) -> None:
         if not common_seed:
             raise ValueError("common_seed must be non-empty")
         self.common_seed = common_seed

@@ -210,7 +210,7 @@ class SchnorrSigner:
 class HmacKeyRegistry:
     """Derives and stores per-player MAC keys (the simulated lobby PKI)."""
 
-    def __init__(self, master_seed: bytes = b"watchmen-registry"):
+    def __init__(self, master_seed: bytes = b"watchmen-registry") -> None:
         if not master_seed:
             raise SigningError("master_seed must be non-empty")
         self.master_seed = master_seed
@@ -235,7 +235,7 @@ class HmacSigner:
         self,
         registry: HmacKeyRegistry | None = None,
         signature_bits: int = 100,
-    ):
+    ) -> None:
         if signature_bits < 32 or signature_bits > 256:
             raise SigningError("signature_bits must be within [32, 256]")
         self.registry = registry or HmacKeyRegistry()

@@ -21,7 +21,7 @@ all mutation, so controllers stay trivially testable.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from dataclasses import dataclass
 
 from repro.game.avatar import AvatarSnapshot
@@ -48,7 +48,7 @@ class BotDecision:
 class BotController:
     """Base class: common perception and steering helpers."""
 
-    def __init__(self, player_id: int, game_map: GameMap, rng: random.Random):
+    def __init__(self, player_id: int, game_map: GameMap, rng: Random) -> None:
         self.player_id = player_id
         self.game_map = game_map
         self.rng = rng
@@ -197,7 +197,7 @@ class WaypointBot(BotController):
     points, giving the ridge-like NPC heatmap of Figure 1(b).
     """
 
-    def __init__(self, player_id: int, game_map: GameMap, rng: random.Random):
+    def __init__(self, player_id: int, game_map: GameMap, rng: Random) -> None:
         super().__init__(player_id, game_map, rng)
         anchors = list(game_map.item_positions()) + list(game_map.respawn_points)
         if not anchors:

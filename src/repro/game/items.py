@@ -46,7 +46,7 @@ class PickupEvent:
 class ItemManager:
     """Owns every item slot of a map and resolves pickups each frame."""
 
-    def __init__(self, game_map: GameMap):
+    def __init__(self, game_map: GameMap) -> None:
         self.game_map = game_map
         self.instances = [ItemInstance(spec) for spec in game_map.items]
 

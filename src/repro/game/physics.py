@@ -74,7 +74,7 @@ class MoveResult:
 class Physics:
     """Frame-step kinematics over a :class:`GameMap`."""
 
-    def __init__(self, game_map: GameMap, config: PhysicsConfig | None = None):
+    def __init__(self, game_map: GameMap, config: PhysicsConfig | None = None) -> None:
         self.game_map = game_map
         self.config = config or PhysicsConfig()
 

@@ -13,8 +13,8 @@ identical trace, which the replay-based experiments rely on.
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field
+from random import Random
+from dataclasses import dataclass
 
 from repro.game.avatar import AvatarState
 from repro.game.bots import BotController, HumanlikeBot, WaypointBot
@@ -59,14 +59,14 @@ class DeathmatchSimulator:
         config: SimulationConfig | None = None,
         game_map: GameMap | None = None,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.config = config or SimulationConfig()
         self.game_map = game_map or make_longest_yard()
         obs = registry if registry is not None else get_registry()
         self._hist_frame = obs.histogram("sim.frame_seconds")
         self._ctr_shots = obs.counter("sim.shots")
         self._ctr_kills = obs.counter("sim.kills")
-        self.rng = random.Random(self.config.seed)
+        self.rng = Random(self.config.seed)
         self.physics = Physics(
             self.game_map, PhysicsConfig(frame_seconds=self.config.frame_seconds)
         )
@@ -90,7 +90,7 @@ class DeathmatchSimulator:
             avatar = AvatarState(player_id=player_id, position=spawn + jitter)
             avatar.yaw = self.rng.uniform(-math.pi, math.pi)
             self.avatars[player_id] = avatar
-            controller_rng = random.Random(self.config.seed * 1_000_003 + player_id)
+            controller_rng = Random(self.config.seed * 1_000_003 + player_id)
             if player_id < num_npcs:
                 self.controllers[player_id] = WaypointBot(
                     player_id, self.game_map, controller_rng

@@ -211,7 +211,7 @@ def _snapshot_from_json(row: dict) -> AvatarSnapshot:
 class TraceCursor:
     """Frame-by-frame iteration over a trace (the replay engine's clock)."""
 
-    def __init__(self, trace: GameTrace, start_frame: int = 0):
+    def __init__(self, trace: GameTrace, start_frame: int = 0) -> None:
         if not 0 <= start_frame <= trace.num_frames:
             raise ValueError("start_frame out of range")
         self.trace = trace

@@ -1,0 +1,16 @@
+"""``python -m repro.lint`` entry point."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that exited early; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,84 @@
+"""Baseline suppression: pre-existing violations are visible but allowed.
+
+The committed baseline file records the fingerprints of violations that
+predate a rule (or a rule's tightening).  ``repro lint`` subtracts the
+baseline from its findings, so CI fails only on *new* violations, while
+``--write-baseline`` regenerates the file — which must only ever shrink
+in review.
+
+Fingerprints are ``(rule, path, context)`` with a multiplicity count, so
+unrelated edits that shift line numbers do not invalidate the baseline,
+but adding a *second* identical violation on the same source line text
+does fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.violations import Violation
+
+__all__ = ["BASELINE_SCHEMA", "load_baseline", "write_baseline", "apply_baseline"]
+
+BASELINE_SCHEMA = "repro.lint-baseline.v1"
+
+
+def load_baseline(path: Path) -> Counter[tuple[str, str, str]]:
+    """Fingerprint -> allowed multiplicity; empty when the file is absent."""
+    if not path.is_file():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: malformed baseline JSON ({error})") from error
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a {BASELINE_SCHEMA} baseline file")
+    entries = data.get("suppressions", [])
+    baseline: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: baseline entry is not an object: {entry!r}")
+        try:
+            fingerprint = (entry["rule"], entry["path"], entry["context"])
+        except KeyError as error:
+            raise ValueError(f"{path}: baseline entry missing {error}") from error
+        baseline[fingerprint] += int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path, violations: list[Violation]) -> None:
+    """Serialize current findings as the new baseline (sorted, counted)."""
+    counts: Counter[tuple[str, str, str]] = Counter(
+        v.fingerprint() for v in violations
+    )
+    suppressions = [
+        {"rule": rule, "path": file_path, "context": context, "count": count}
+        for (rule, file_path, context), count in sorted(counts.items())
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "suppressions": suppressions}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    violations: list[Violation], baseline: Counter[tuple[str, str, str]]
+) -> tuple[list[Violation], int]:
+    """(new violations, how many findings the baseline suppressed).
+
+    Each baseline entry absorbs up to ``count`` findings with the same
+    fingerprint; anything beyond that is new and reported.
+    """
+    budget = Counter(baseline)
+    fresh: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        fingerprint = violation.fingerprint()
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed

@@ -1,0 +1,181 @@
+"""``repro lint`` / ``python -m repro.lint`` — the analyzer's front end.
+
+Exit codes mirror ``repro bench-diff``: 0 clean, 1 new violations,
+2 usage errors (unknown rule, missing path, malformed baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import write_baseline
+from repro.lint.engine import LintConfig, LintReport, run_lint
+from repro.lint.violations import RULE_CATALOG, family_of
+
+__all__ = ["add_lint_arguments", "build_parser", "cmd_lint", "main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared between the standalone parser and the ``repro`` subcommand."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: <root>/src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (baseline + protocol files resolve under it)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline suppression file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every violation, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from current findings and exit 0",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print a rule's rationale (e.g. --explain D102) and exit",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write violation counts as a repro.bench.v1 artifact "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule with its one-line summary and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism / protocol-conformance / typing static analysis",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _explain(rule: str) -> int:
+    info = RULE_CATALOG.get(rule.upper())
+    if info is None:
+        known = ", ".join(sorted(RULE_CATALOG))
+        print(f"repro lint: unknown rule {rule!r} (known: {known})", file=sys.stderr)
+        return 2
+    print(f"{info.rule} — {info.summary}")
+    print(f"scope: {info.scope}")
+    print()
+    print(info.rationale)
+    if info.examples:
+        print()
+        for example in info.examples:
+            print(f"  {example}")
+    return 0
+
+
+def _list_rules() -> int:
+    for rule in sorted(RULE_CATALOG):
+        info = RULE_CATALOG[rule]
+        print(f"{rule}  {info.summary}")
+    return 0
+
+
+def _write_json_artifact(report: LintReport, path: str) -> None:
+    # Deferred import: keeps `python -m repro.lint --explain ...` usable
+    # even if the obs layer grows heavier dependencies someday.
+    from repro.obs.emit import bench_row, write_bench_json
+
+    metrics: dict[str, float] = {
+        "violations.total": float(len(report.violations)),
+        "violations.suppressed": float(report.suppressed),
+        "files.scanned": float(report.files_scanned),
+    }
+    families = {family_of(rule) for rule in RULE_CATALOG}
+    counts_by_family = report.counts_by_family()
+    for family in sorted(families):
+        metrics[f"violations.{family}"] = float(counts_by_family.get(family, 0))
+    for rule, count in sorted(report.counts_by_rule().items()):
+        metrics[f"violations.{rule}"] = float(count)
+    row = bench_row(bench="lint", params={}, metrics=metrics)
+    if path == "-":
+        import json
+
+        print(json.dumps({"schema": "repro.bench.v1", "rows": [row]}, indent=2,
+                         sort_keys=True))
+    else:
+        write_bench_json(path, row)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain:
+        return _explain(args.explain)
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"repro lint: root is not a directory: {root}", file=sys.stderr)
+        return 2
+    baseline_path: Path | None
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_file():
+            print(f"repro lint: baseline not found: {baseline_path}", file=sys.stderr)
+            return 2
+    else:
+        default = root / DEFAULT_BASELINE
+        baseline_path = default if default.is_file() else None
+
+    config = LintConfig(
+        root=root,
+        paths=tuple(Path(p) for p in args.paths),
+        baseline_path=baseline_path,
+    )
+    try:
+        report = run_lint(config)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+        write_baseline(target, report.all_violations)
+        print(
+            f"baseline: {len(report.all_violations)} violation(s) recorded "
+            f"-> {target}"
+        )
+        return 0
+
+    if args.json:
+        _write_json_artifact(report, args.json)
+    print(report.render())
+    return 1 if report.violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return cmd_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""D-family rules: nondeterminism that breaks replay verification.
+
+All three rules are per-file AST scans over the deterministic packages
+(``src/repro/{core,game,crypto,net,cheats}``); the observability layer
+and the CLI are deliberately out of scope (they read wall clocks on
+purpose and never feed protocol state).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.violations import Violation
+
+__all__ = [
+    "DETERMINISTIC_PACKAGES",
+    "check_wall_clock",
+    "check_module_random",
+    "check_float_equality",
+    "run_determinism_rules",
+]
+
+#: Sub-packages of repro whose code must replay bit-identically.
+DETERMINISTIC_PACKAGES = ("core", "game", "crypto", "net", "cheats")
+
+#: Functions whose call reads the host clock.
+_WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: random.Random / random.SystemRandom are explicit-state classes; every
+#: other public name on the module draws from the hidden global state.
+_RANDOM_CLASS_NAMES = {"Random", "SystemRandom"}
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute chains as a string, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _line(source_lines: list[str], lineno: int) -> str:
+    if 1 <= lineno <= len(source_lines):
+        return source_lines[lineno - 1].strip()
+    return ""
+
+
+def check_wall_clock(path: str, tree: ast.AST, source_lines: list[str]) -> list[Violation]:
+    """D101: time.time()/datetime.now() style host-clock reads."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        head = dotted.split(".")
+        # matches time.time(), datetime.now(), datetime.datetime.now() ...
+        tail = tuple(head[-2:]) if len(head) >= 2 else None
+        if tail in _WALL_CLOCK_CALLS:
+            violations.append(
+                Violation(
+                    rule="D101",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"wall-clock read `{dotted}()` in deterministic code; "
+                        "derive time from the frame counter or event queue"
+                    ),
+                    context=_line(source_lines, node.lineno),
+                )
+            )
+    return violations
+
+
+def check_module_random(path: str, tree: ast.AST, source_lines: list[str]) -> list[Violation]:
+    """D102: `import random` / `from random import <module-state fn>`."""
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    violations.append(
+                        Violation(
+                            rule="D102",
+                            path=path,
+                            line=node.lineno,
+                            message=(
+                                "`import random` exposes the module's hidden "
+                                "global state; use `from random import Random` "
+                                "and inject a seeded instance"
+                            ),
+                            context=_line(source_lines, node.lineno),
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module != "random" or node.level:
+                continue
+            for alias in node.names:
+                if alias.name not in _RANDOM_CLASS_NAMES:
+                    violations.append(
+                        Violation(
+                            rule="D102",
+                            path=path,
+                            line=node.lineno,
+                            message=(
+                                f"`from random import {alias.name}` draws from "
+                                "module-global state; import Random and seed "
+                                "an instance instead"
+                            ),
+                            context=_line(source_lines, node.lineno),
+                        )
+                    )
+    return violations
+
+
+def check_float_equality(path: str, tree: ast.AST, source_lines: list[str]) -> list[Violation]:
+    """D103: == / != against a non-zero float literal."""
+
+    def is_nonzero_float_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value != 0.0
+        )
+
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if is_nonzero_float_literal(left) or is_nonzero_float_literal(right):
+                violations.append(
+                    Violation(
+                        rule="D103",
+                        path=path,
+                        line=node.lineno,
+                        message=(
+                            "exact equality against a float literal depends on "
+                            "rounding noise; compare with an epsilon or "
+                            "math.isclose (== 0.0 guards are exempt)"
+                        ),
+                        context=_line(source_lines, node.lineno),
+                    )
+                )
+    return violations
+
+
+def run_determinism_rules(
+    path: str, tree: ast.AST, source_lines: list[str]
+) -> list[Violation]:
+    """All D-family checks for one already-parsed file."""
+    violations: list[Violation] = []
+    violations.extend(check_wall_clock(path, tree, source_lines))
+    violations.extend(check_module_random(path, tree, source_lines))
+    violations.extend(check_float_equality(path, tree, source_lines))
+    return violations

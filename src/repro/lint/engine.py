@@ -1,0 +1,206 @@
+"""The lint driver: collect files, run rule families, subtract the baseline.
+
+Dependency-free by design (stdlib ``ast`` only): the analyzer must run in
+CI before anything is installed, and must never disagree with itself
+across environments.
+
+Per-file scoping:
+
+* **T rules** run on every ``src/repro`` file scanned.
+* **D rules** run only inside the deterministic packages
+  (``src/repro/{core,game,crypto,net,cheats}``); ``repro.obs`` and the
+  CLI legitimately read wall clocks.
+* **P rules** run once per invocation over the messages/node/wire triple
+  (paths configurable so tests can lint synthetic fixture trees).
+
+Inline escape hatch: a source line containing ``repro-lint: ignore`` (or
+``repro-lint: ignore[D102]`` to scope it) is exempt — use sparingly, with
+a justifying comment; prefer fixing or baselining.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.determinism import DETERMINISTIC_PACKAGES, run_determinism_rules
+from repro.lint.protocol import ProtocolSources, run_protocol_rules
+from repro.lint.typing_rules import run_typing_rules
+from repro.lint.violations import Violation, family_of
+
+__all__ = ["LintConfig", "LintReport", "run_lint"]
+
+_IGNORE_PATTERN = re.compile(
+    r"repro-lint:\s*ignore(?:\[(?P<rules>[A-Z]\d+(?:\s*,\s*[A-Z]\d+)*)\])?"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """One lint invocation: where to look and what to compare against."""
+
+    root: Path
+    paths: tuple[Path, ...] = ()
+    baseline_path: Path | None = None
+
+    def scan_paths(self) -> tuple[Path, ...]:
+        if self.paths:
+            return self.paths
+        return (self.root / "src" / "repro",)
+
+    def protocol_sources(self) -> ProtocolSources:
+        core = self.root / "src" / "repro" / "core"
+        return ProtocolSources(
+            messages_path=core / "messages.py",
+            node_path=core / "node.py",
+            wire_path=core / "wire.py",
+        )
+
+
+@dataclass(slots=True)
+class LintReport:
+    """What one run found, after baseline subtraction."""
+
+    violations: list[Violation] = field(default_factory=list)
+    all_violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        return dict(Counter(v.rule for v in self.violations))
+
+    def counts_by_family(self) -> dict[str, int]:
+        return dict(Counter(family_of(v.rule) for v in self.violations))
+
+    def render(self) -> str:
+        lines = [v.render() for v in sorted(
+            self.violations, key=lambda v: (v.path, v.line, v.rule)
+        )]
+        summary = (
+            f"repro lint: {self.files_scanned} files, "
+            f"{len(self.violations)} new violation(s), "
+            f"{self.suppressed} baseline-suppressed"
+        )
+        if lines:
+            by_rule = ", ".join(
+                f"{rule}:{count}" for rule, count in sorted(self.counts_by_rule().items())
+            )
+            return "\n".join([*lines, summary + f" ({by_rule})"])
+        return summary
+
+
+def _collect_files(paths: tuple[Path, ...]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+    # de-duplicate while keeping order
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _repro_parts(rel: str) -> tuple[str, ...] | None:
+    """Path parts below ``src/repro``, or None when outside it."""
+    parts = Path(rel).parts
+    if len(parts) >= 2 and parts[0] == "src" and parts[1] == "repro":
+        return parts[2:]
+    return None
+
+
+def _in_deterministic_scope(rel: str) -> bool:
+    below = _repro_parts(rel)
+    return below is not None and len(below) > 1 and below[0] in DETERMINISTIC_PACKAGES
+
+
+def _inline_ignored(violation: Violation, source_lines: list[str]) -> bool:
+    if not 1 <= violation.line <= len(source_lines):
+        return False
+    match = _IGNORE_PATTERN.search(source_lines[violation.line - 1])
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    return violation.rule in {r.strip() for r in rules.split(",")}
+
+
+def run_lint(config: LintConfig) -> LintReport:
+    """Scan, cross-reference, subtract the baseline; never writes files."""
+    report = LintReport()
+    found: list[Violation] = []
+
+    for file in _collect_files(config.scan_paths()):
+        rel = _relpath(file, config.root)
+        if _repro_parts(rel) is None and config.paths == ():
+            continue
+        source = file.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError as error:
+            found.append(
+                Violation(
+                    rule="E000",
+                    path=rel,
+                    line=error.lineno or 1,
+                    message=f"file does not parse: {error.msg}",
+                    context="",
+                )
+            )
+            report.files_scanned += 1
+            continue
+        source_lines = source.splitlines()
+        report.files_scanned += 1
+
+        file_violations: list[Violation] = []
+        file_violations.extend(run_typing_rules(rel, tree, source_lines))
+        if _in_deterministic_scope(rel):
+            file_violations.extend(run_determinism_rules(rel, tree, source_lines))
+        found.extend(
+            v for v in file_violations if not _inline_ignored(v, source_lines)
+        )
+
+    sources = config.protocol_sources()
+    if sources.exists():
+        protocol_violations = run_protocol_rules(
+            sources, src_root=config.root / "src"
+        )
+        found.extend(
+            Violation(
+                rule=v.rule,
+                path=_relpath(Path(v.path), config.root),
+                line=v.line,
+                message=v.message,
+                context=v.context,
+            )
+            for v in protocol_violations
+        )
+
+    report.all_violations = list(found)
+    baseline = (
+        load_baseline(config.baseline_path)
+        if config.baseline_path is not None
+        else Counter()
+    )
+    report.violations, report.suppressed = apply_baseline(found, baseline)
+    return report

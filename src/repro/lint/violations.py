@@ -1,0 +1,207 @@
+"""Violation records and the rule catalog for ``repro lint``.
+
+Every rule has a stable identifier (``D101`` …), a one-line summary, and
+a longer rationale printed by ``repro lint --explain RULE``.  Rules come
+in three families:
+
+* **D (determinism)** — the proxy schedule and frame-by-frame replay are
+  only verifiable when every honest node computes the identical result;
+  wall-clock reads and module-state randomness silently break that.
+* **P (protocol conformance)** — every wire-message dataclass must be
+  immutable, dispatchable, wire-codable and size-modelled; a gap means a
+  message type that crashes (or worse, is silently dropped) at runtime.
+* **T (typing)** — full annotations are the substrate the staged
+  ``mypy --strict`` gate builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Violation", "RuleInfo", "RULE_CATALOG", "family_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a rule tripped at a location."""
+
+    rule: str
+    path: str  # repo-relative, forward slashes
+    line: int
+    message: str
+    #: the stripped source line, used for line-drift-stable fingerprints
+    context: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity that survives unrelated line-number drift."""
+        return (self.rule, self.path, self.context)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class RuleInfo:
+    """Catalog entry: summary for reports, rationale for ``--explain``."""
+
+    rule: str
+    summary: str
+    rationale: str
+    scope: str = "src/repro"
+    examples: tuple[str, ...] = field(default_factory=tuple)
+
+
+def family_of(rule: str) -> str:
+    """``D101`` -> ``D`` (determinism), etc."""
+    return rule[:1]
+
+
+_CATALOG_ENTRIES = (
+    RuleInfo(
+        rule="D101",
+        summary="wall-clock read inside deterministic code",
+        rationale=(
+            "Calls to time.time()/time.monotonic()/time.perf_counter()/"
+            "time.process_time() and datetime.now()/utcnow()/today() read the "
+            "host's clock, which differs across nodes and across replays.  "
+            "Watchmen verification replays a peer's state machine and must "
+            "reach bit-identical results, so all timing must come from the "
+            "frame counter (config.frame_seconds * frame) or the event-queue "
+            "clock.  Wall-clock reads are allowed only in the observability "
+            "layer (repro.obs) and the CLI, which never feed protocol state."
+        ),
+        scope="src/repro/{core,game,crypto,net,cheats}",
+        examples=(
+            "flags:  stamp = time.time()",
+            "flags:  now = datetime.now()",
+            "ok:     t = frame * config.frame_seconds",
+        ),
+    ),
+    RuleInfo(
+        rule="D102",
+        summary="module-state random (import random / random.<fn>())",
+        rationale=(
+            "The random module's top-level functions share one hidden global "
+            "Mersenne state; any library or test that touches it reorders "
+            "every later draw, so two nodes replaying the same trace diverge. "
+            "Everything must flow through an explicitly seeded "
+            "random.Random(seed) instance that is owned and injected "
+            "(simulator.py seeds one per controller, transport.py one per "
+            "network).  The rule therefore bans `import random` itself in "
+            "deterministic packages: import the class, not the module "
+            "(`from random import Random`), so no module-state call can "
+            "creep in."
+        ),
+        scope="src/repro/{core,game,crypto,net,cheats}",
+        examples=(
+            "flags:  import random",
+            "flags:  from random import choice",
+            "ok:     from random import Random; rng = Random(seed)",
+        ),
+    ),
+    RuleInfo(
+        rule="D103",
+        summary="float equality comparison (== / != with a float literal)",
+        rationale=(
+            "Two floating-point pipelines that differ only in summation order "
+            "produce values that are equal-ish, not equal; an == against a "
+            "non-zero float literal therefore makes control flow depend on "
+            "rounding noise and breaks replay verification.  Compare against "
+            "an epsilon (abs(a - b) <= eps) or use math.isclose.  Comparisons "
+            "against literal 0.0 are exempt: exact-zero guards (division, "
+            "zero-length vectors) are deterministic and idiomatic."
+        ),
+        scope="src/repro/{core,game,crypto,net,cheats}",
+        examples=(
+            "flags:  if distance == 1.5:",
+            "ok:     if denom == 0.0:",
+            "ok:     if abs(distance - 1.5) <= 1e-9:",
+        ),
+    ),
+    RuleInfo(
+        rule="P201",
+        summary="message dataclass not frozen=True, slots=True",
+        rationale=(
+            "Wire messages are signed at send time and verified at every "
+            "hop; a mutable message lets code (or a cheat module) alter a "
+            "field after signing, silently invalidating the signature model. "
+            "frozen=True makes the dataclass hashable and tamper-evident in "
+            "process; slots=True rejects stray attribute injection and keeps "
+            "the per-message memory footprint flat at scale.  Every member "
+            "of the GameMessage union must declare both."
+        ),
+        scope="core/messages.py (+ imported message definitions)",
+        examples=(
+            "flags:  @dataclass\\nclass KillClaim: ...",
+            "ok:     @dataclass(frozen=True, slots=True)\\nclass KillClaim: ...",
+        ),
+    ),
+    RuleInfo(
+        rule="P202",
+        summary="message type without a _dispatch_message handler branch",
+        rationale=(
+            "WatchmenNode._dispatch_message is the single demultiplexer for "
+            "every delivered payload.  A GameMessage union member with no "
+            "isinstance branch there is accepted by the type checker, "
+            "signed, transmitted, metered — and then silently dropped on "
+            "receipt, which reads exactly like the packet-suppression cheats "
+            "the protocol exists to catch.  Add an explicit branch (and "
+            "handler) for every member."
+        ),
+        scope="core/messages.py x core/node.py",
+        examples=(
+            "flags:  GameMessage member `PingProbe` with no isinstance(message, PingProbe)",
+        ),
+    ),
+    RuleInfo(
+        rule="P203",
+        summary="message type without a wire codec registration",
+        rationale=(
+            "core/wire.py's MESSAGE_TYPES registry is the serialization "
+            "boundary: encode_message/decode_message only round-trip types "
+            "registered there.  An unregistered member works in-process (the "
+            "simulated network passes Python objects) but would fail the "
+            "moment traffic crosses a real socket or a trace is persisted, "
+            "so the gap must be closed when the type is introduced, not "
+            "when deployment finds it."
+        ),
+        scope="core/messages.py x core/wire.py",
+        examples=(
+            "flags:  GameMessage member `PingProbe` missing from wire.MESSAGE_TYPES",
+        ),
+    ),
+    RuleInfo(
+        rule="P204",
+        summary="message type without a message_size_bits size model",
+        rationale=(
+            "Bandwidth is a headline result of the paper; message_size_bits "
+            "is the single size oracle the transport charges.  A union "
+            "member missing from its isinstance chain raises TypeError on "
+            "the first send — at runtime, in whatever experiment first "
+            "emits it.  The static check moves that failure to CI."
+        ),
+        scope="core/messages.py (message_size_bits)",
+        examples=(
+            "flags:  GameMessage member `PingProbe` not sized in message_size_bits",
+        ),
+    ),
+    RuleInfo(
+        rule="T301",
+        summary="function missing parameter or return annotations",
+        rationale=(
+            "Full annotations are what lets mypy --strict verify the "
+            "protocol statically (message payloads, codec field types, "
+            "handler signatures).  Every function in src/repro must "
+            "annotate every parameter (self/cls exempt) and its return "
+            "type; __init__ returns None explicitly.  New modules should "
+            "be added to the strict set in pyproject.toml as they land."
+        ),
+        scope="src/repro",
+        examples=(
+            "flags:  def upload(self, size): ...",
+            "ok:     def upload(self, size: int) -> float: ...",
+        ),
+    ),
+)
+
+RULE_CATALOG: dict[str, RuleInfo] = {info.rule: info for info in _CATALOG_ENTRIES}

@@ -24,7 +24,7 @@ mean matches the dataset's documented mean RTT/2 for US-filtered hosts.
 from __future__ import annotations
 
 import math
-import random
+from random import Random
 from dataclasses import dataclass
 
 __all__ = ["LatencyMatrix", "king_like", "peerwise_like", "uniform_lan"]
@@ -108,7 +108,7 @@ def king_like(
     """Geographic US-scale latency matrix (King mean RTT ≈ 62 ms ⇒ 31 ms/way)."""
     if size < 1:
         raise ValueError("size must be positive")
-    rng = random.Random(seed)
+    rng = Random(seed)
     # Hosts clustered around a handful of metro areas on a 4000x2500 km plane.
     metros = [(rng.uniform(0, 4000.0), rng.uniform(0, 2500.0)) for _ in range(8)]
     hosts = []
@@ -138,7 +138,7 @@ def peerwise_like(
     """Lognormal latency matrix (PeerWise mean RTT ≈ 68 ms ⇒ 34 ms/way)."""
     if size < 1:
         raise ValueError("size must be positive")
-    rng = random.Random(seed)
+    rng = Random(seed)
     mean = mean_one_way_ms / 1000.0
     # Lognormal with E[X] = mean: mu = ln(mean) - sigma^2/2.
     mu = math.log(mean) - sigma * sigma / 2.0

@@ -13,7 +13,7 @@ NAT on both sides defeats punching, matching STUNT's behaviour).
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
 
 __all__ = ["NatType", "NatProfile", "Reachability", "sample_profiles"]
@@ -58,7 +58,7 @@ def sample_profiles(
         NatType.CONE: 0.25,
         NatType.SYMMETRIC: 0.10,
     }
-    rng = random.Random(seed)
+    rng = Random(seed)
     kinds = list(weights)
     probabilities = [weights[k] for k in kinds]
     return [
@@ -82,9 +82,9 @@ class Reachability:
         seed: int = 0,
         punch_success: float = 0.95,
         punch_success_symmetric: float = 0.60,
-    ):
+    ) -> None:
         self.profiles = {p.node_id: p for p in profiles}
-        self.rng = random.Random(seed)
+        self.rng = Random(seed)
         self.punch_success = punch_success
         self.punch_success_symmetric = punch_success_symmetric
         self._pair_cache: dict[tuple[int, int], bool] = {}

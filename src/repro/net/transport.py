@@ -10,7 +10,7 @@ when NAT traversal between the pair failed.
 
 from __future__ import annotations
 
-import random
+from random import Random
 from dataclasses import dataclass
 from typing import Callable
 
@@ -61,14 +61,14 @@ class DatagramNetwork:
         budget: UploadBudget | None = None,
         reachability: Reachability | None = None,
         registry: MetricsRegistry | None = None,
-    ):
+    ) -> None:
         self.queue = queue
         self.latency = latency
         self.config = config or NetworkConfig()
         self.budget = budget
         self.reachability = reachability
         self.meter = BandwidthMeter()
-        self.rng = random.Random(self.config.seed)
+        self.rng = Random(self.config.seed)
         self._handlers: dict[int, Callable[[Datagram], None]] = {}
         self.sent = 0
         self.delivered = 0

@@ -67,7 +67,7 @@ class Counter:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
 
@@ -80,7 +80,7 @@ class Gauge:
 
     __slots__ = ("name", "value")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
 
@@ -96,7 +96,7 @@ class _Timer:
 
     __slots__ = ("_histogram", "_start")
 
-    def __init__(self, histogram: Histogram):
+    def __init__(self, histogram: Histogram) -> None:
         self._histogram = histogram
         self._start = 0.0
 
@@ -104,7 +104,7 @@ class _Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._histogram.record(time.perf_counter() - self._start)
 
 
@@ -120,7 +120,7 @@ class Histogram:
 
     __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max", "_timer")
 
-    def __init__(self, name: str, bounds: tuple[float, ...] | None = None):
+    def __init__(self, name: str, bounds: tuple[float, ...] | None = None) -> None:
         self.name = name
         self.bounds = tuple(sorted(bounds)) if bounds else TIME_BUCKETS
         if not self.bounds:
@@ -201,7 +201,7 @@ class _NullTimer:
     def __enter__(self) -> _NullTimer:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
 
@@ -259,7 +259,7 @@ class MetricsRegistry:
     method call per event and allocates nothing.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
@@ -373,7 +373,7 @@ def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
 class use_registry:
     """Context manager: temporarily install a registry process-wide."""
 
-    def __init__(self, registry: MetricsRegistry):
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self._previous: MetricsRegistry | None = None
 
@@ -381,6 +381,6 @@ class use_registry:
         self._previous = set_registry(self.registry)
         return self.registry
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         assert self._previous is not None
         set_registry(self._previous)

@@ -1,0 +1,124 @@
+"""D-family lint rules: snippets that must flag and snippets that must pass."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.determinism import (
+    check_float_equality,
+    check_module_random,
+    check_wall_clock,
+    run_determinism_rules,
+)
+
+PATH = "src/repro/core/example.py"
+
+
+def _run(check, snippet: str):
+    tree = ast.parse(snippet)
+    return check(PATH, tree, snippet.splitlines())
+
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        violations = _run(check_wall_clock, "import time\nstamp = time.time()\n")
+        assert [v.rule for v in violations] == ["D101"]
+        assert violations[0].line == 2
+        assert "time.time" in violations[0].message
+
+    def test_flags_perf_counter_and_monotonic(self):
+        snippet = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+            "c = time.process_time()\n"
+        )
+        assert len(_run(check_wall_clock, snippet)) == 3
+
+    def test_flags_datetime_now_variants(self):
+        snippet = (
+            "from datetime import datetime\n"
+            "a = datetime.now()\n"
+            "b = datetime.utcnow()\n"
+            "c = datetime.today()\n"
+        )
+        assert len(_run(check_wall_clock, snippet)) == 3
+
+    def test_flags_fully_qualified_datetime(self):
+        violations = _run(
+            check_wall_clock, "import datetime\nx = datetime.datetime.now()\n"
+        )
+        assert len(violations) == 1
+
+    def test_passes_frame_derived_time(self):
+        snippet = (
+            "def at(frame: int, dt: float) -> float:\n"
+            "    return frame * dt\n"
+        )
+        assert _run(check_wall_clock, snippet) == []
+
+    def test_passes_unrelated_attribute_calls(self):
+        assert _run(check_wall_clock, "x = queue.now()\ny = obj.time\n") == []
+
+
+class TestModuleRandom:
+    def test_flags_import_random(self):
+        violations = _run(check_module_random, "import random\n")
+        assert [v.rule for v in violations] == ["D102"]
+
+    def test_flags_from_import_of_module_state_functions(self):
+        snippet = "from random import choice, shuffle\n"
+        assert len(_run(check_module_random, snippet)) == 2
+
+    def test_passes_random_class_import(self):
+        snippet = "from random import Random\nrng = Random(7)\n"
+        assert _run(check_module_random, snippet) == []
+
+    def test_passes_system_random(self):
+        assert _run(check_module_random, "from random import SystemRandom\n") == []
+
+    def test_flags_import_random_submodule_style(self):
+        assert len(_run(check_module_random, "import random as rnd\n")) == 1
+
+
+class TestFloatEquality:
+    def test_flags_nonzero_literal_equality(self):
+        violations = _run(check_float_equality, "ok = x == 1.5\n")
+        assert [v.rule for v in violations] == ["D103"]
+
+    def test_flags_not_equal_and_reversed_operands(self):
+        snippet = "a = 2.5 != y\nb = y == 0.25\n"
+        assert len(_run(check_float_equality, snippet)) == 2
+
+    def test_flags_negative_literal(self):
+        assert len(_run(check_float_equality, "a = x == -1.5\n")) == 1
+
+    def test_zero_guard_is_exempt(self):
+        snippet = "a = denom == 0.0\nb = length != 0.0\nc = x == -0.0\n"
+        assert _run(check_float_equality, snippet) == []
+
+    def test_int_equality_is_fine(self):
+        assert _run(check_float_equality, "a = frame == 3\n") == []
+
+    def test_ordering_comparisons_are_fine(self):
+        assert _run(check_float_equality, "a = x <= 1.5\nb = x > 0.1\n") == []
+
+
+class TestRunAll:
+    def test_families_compose(self):
+        snippet = (
+            "import random\n"
+            "import time\n"
+            "t = time.time()\n"
+            "eq = x == 3.25\n"
+        )
+        rules = sorted(v.rule for v in _run(run_determinism_rules, snippet))
+        assert rules == ["D101", "D102", "D103"]
+
+    def test_clean_snippet_is_clean(self):
+        snippet = (
+            "from random import Random\n"
+            "def roll(seed: int) -> float:\n"
+            "    return Random(seed).random()\n"
+        )
+        assert _run(run_determinism_rules, snippet) == []

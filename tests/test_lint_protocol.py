@@ -1,0 +1,196 @@
+"""P-family lint rules against synthetic protocol trees and the real repo."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint.protocol import ProtocolSources, run_protocol_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+MESSAGES_TEMPLATE = '''\
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.extra import Farewell
+
+
+@dataclass({ping_flags})
+class Ping:
+    sender_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    sender_id: int
+
+
+GameMessage = Union[Ping, Pong, Farewell]
+
+
+def message_size_bits(message: GameMessage, config: object) -> int:
+    if isinstance(message, Ping):
+        return 8
+    elif isinstance(message, {sized_second}):
+        return 16
+    elif isinstance(message, Farewell):
+        return 4
+    raise TypeError(type(message).__name__)
+'''
+
+EXTRA_MODULE = '''\
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Farewell:
+    sender_id: int
+'''
+
+NODE_TEMPLATE = '''\
+from __future__ import annotations
+
+
+class Node:
+    def _dispatch_message(self, src: int, message: object) -> None:
+        if isinstance(message, Ping):
+            pass
+        elif isinstance(message, {dispatched_second}):
+            pass
+        elif isinstance(message, Farewell):
+            pass
+'''
+
+WIRE_TEMPLATE = '''\
+from __future__ import annotations
+
+MESSAGE_TYPES: dict[str, type] = {{
+    "Ping": Ping,
+    "{registered_second}": object,
+    "Farewell": Farewell,
+}}
+'''
+
+
+def make_tree(
+    root: Path,
+    ping_flags: str = "frozen=True, slots=True",
+    dispatched_second: str = "Pong",
+    registered_second: str = "Pong",
+    sized_second: str = "Pong",
+) -> ProtocolSources:
+    """A minimal src/repro tree with controllable conformance defects."""
+    core = root / "src" / "repro" / "core"
+    core.mkdir(parents=True, exist_ok=True)
+    (core / "messages.py").write_text(
+        MESSAGES_TEMPLATE.format(ping_flags=ping_flags, sized_second=sized_second)
+    )
+    (core / "extra.py").write_text(EXTRA_MODULE)
+    (core / "node.py").write_text(
+        NODE_TEMPLATE.format(dispatched_second=dispatched_second)
+    )
+    (core / "wire.py").write_text(
+        WIRE_TEMPLATE.format(registered_second=registered_second)
+    )
+    return ProtocolSources(
+        messages_path=core / "messages.py",
+        node_path=core / "node.py",
+        wire_path=core / "wire.py",
+    )
+
+
+def _rules(sources: ProtocolSources, root: Path) -> list[str]:
+    return sorted(
+        v.rule for v in run_protocol_rules(sources, src_root=root / "src")
+    )
+
+
+class TestSyntheticTrees:
+    def test_conformant_tree_is_clean(self, tmp_path):
+        sources = make_tree(tmp_path)
+        assert _rules(sources, tmp_path) == []
+
+    def test_missing_frozen_slots_is_p201(self, tmp_path):
+        sources = make_tree(tmp_path, ping_flags="frozen=True")
+        assert _rules(sources, tmp_path) == ["P201"]
+
+    def test_plain_dataclass_is_p201(self, tmp_path):
+        core = tmp_path / "src" / "repro" / "core"
+        make_tree(tmp_path)
+        text = (core / "messages.py").read_text()
+        (core / "messages.py").write_text(
+            text.replace("@dataclass(frozen=True, slots=True)\nclass Pong:",
+                         "@dataclass\nclass Pong:")
+        )
+        sources = ProtocolSources(
+            messages_path=core / "messages.py",
+            node_path=core / "node.py",
+            wire_path=core / "wire.py",
+        )
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P201"]
+        assert "Pong" in violations[0].message
+
+    def test_missing_dispatch_branch_is_p202(self, tmp_path):
+        sources = make_tree(tmp_path, dispatched_second="Other")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P202"]
+        assert "Pong" in violations[0].message
+        assert "silently dropped" in violations[0].message
+
+    def test_missing_codec_registration_is_p203(self, tmp_path):
+        sources = make_tree(tmp_path, registered_second="Other")
+        assert _rules(sources, tmp_path) == ["P203"]
+
+    def test_missing_size_model_is_p204(self, tmp_path):
+        sources = make_tree(tmp_path, sized_second="Other")
+        assert _rules(sources, tmp_path) == ["P204"]
+
+    def test_union_member_defined_in_imported_module_is_resolved(self, tmp_path):
+        # Farewell lives in extra.py (like RemovalProposal in membership.py);
+        # breaking ITS dataclass flags must still be caught.
+        sources = make_tree(tmp_path)
+        extra = tmp_path / "src" / "repro" / "core" / "extra.py"
+        extra.write_text(EXTRA_MODULE.replace("frozen=True, slots=True", "frozen=True"))
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P201"]
+        assert "Farewell" in violations[0].message
+        assert violations[0].path.endswith("extra.py")
+
+    def test_multiple_defects_all_reported(self, tmp_path):
+        sources = make_tree(
+            tmp_path,
+            ping_flags="frozen=True",
+            dispatched_second="Other",
+            registered_second="Other",
+            sized_second="Other",
+        )
+        assert _rules(sources, tmp_path) == ["P201", "P202", "P203", "P204"]
+
+
+class TestRealRepo:
+    def test_repo_protocol_is_conformant(self):
+        core = REPO_ROOT / "src" / "repro" / "core"
+        sources = ProtocolSources(
+            messages_path=core / "messages.py",
+            node_path=core / "node.py",
+            wire_path=core / "wire.py",
+        )
+        assert sources.exists()
+        assert run_protocol_rules(sources, src_root=REPO_ROOT / "src") == []
+
+    def test_repo_union_has_all_eight_messages(self):
+        import ast
+
+        from repro.lint.protocol import union_member_names
+
+        tree = ast.parse((REPO_ROOT / "src/repro/core/messages.py").read_text())
+        members = union_member_names(tree)
+        assert "StateUpdate" in members
+        assert "RemovalProposal" in members  # the imported-member case
+        assert len(members) == 8

@@ -1,0 +1,65 @@
+"""T-family lint rule: annotation completeness on fixture snippets."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.typing_rules import check_annotations
+
+PATH = "src/repro/game/example.py"
+
+
+def _run(snippet: str):
+    return check_annotations(PATH, ast.parse(snippet), snippet.splitlines())
+
+
+class TestT301:
+    def test_flags_missing_param_annotation(self):
+        violations = _run("def f(x) -> int:\n    return x\n")
+        assert [v.rule for v in violations] == ["T301"]
+        assert "x" in violations[0].message
+
+    def test_flags_missing_return(self):
+        violations = _run("def f(x: int):\n    return x\n")
+        assert len(violations) == 1
+        assert "return" in violations[0].message
+
+    def test_flags_star_args(self):
+        violations = _run("def f(*args, **kw) -> None: ...\n")
+        assert "*args" in violations[0].message
+        assert "**kw" in violations[0].message
+
+    def test_flags_keyword_only(self):
+        violations = _run("def f(*, mode) -> None: ...\n")
+        assert "mode" in violations[0].message
+
+    def test_self_and_cls_exempt(self):
+        snippet = (
+            "class C:\n"
+            "    def m(self) -> None: ...\n"
+            "    @classmethod\n"
+            "    def c(cls) -> int:\n"
+            "        return 1\n"
+        )
+        assert _run(snippet) == []
+
+    def test_nested_and_async_functions_checked(self):
+        snippet = (
+            "def outer() -> None:\n"
+            "    def inner(x):\n"
+            "        return x\n"
+            "async def a(y):\n"
+            "    return y\n"
+        )
+        assert len(_run(snippet)) == 2
+
+    def test_fully_annotated_passes(self):
+        snippet = (
+            "def f(a: int, b: str = 'x', *rest: float, k: bool = True,\n"
+            "      **extra: object) -> list[int]:\n"
+            "    return [a]\n"
+        )
+        assert _run(snippet) == []
+
+    def test_lambda_not_flagged(self):
+        assert _run("f = lambda x: x\n") == []
