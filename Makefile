@@ -1,0 +1,29 @@
+# Developer entry points for the Watchmen reproduction.
+# `make precheck` is the one-command pre-push gate documented in README.md.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test fast lint lint-fix precheck bench
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+lint:
+	$(PYTHON) -m repro lint --json -
+
+lint-fix:
+	$(PYTHON) -m repro lint --fix
+
+# The pre-push check: full static analysis (all rule families, JSON report
+# to stdout) followed by the analyzer's own test suite.
+precheck:
+	$(PYTHON) -m repro lint --json - && $(PYTHON) -m pytest -m lint -q
+
+bench:
+	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) -m pytest \
+		benchmarks/bench_scalability.py benchmarks/bench_crypto.py \
+		-q --benchmark-disable

@@ -10,109 +10,110 @@ The one-stop import surface:
 - :mod:`~repro.core.verification` — sanity-check verifiers and ratings;
 - :mod:`~repro.core.reputation` — reputation & banning backends;
 - :mod:`~repro.core.disclosure` — information-exposure accounting.
+
+Re-exports resolve lazily (PEP 562): importing a single leaf such as
+:mod:`repro.core.config` must not drag in the whole protocol stack, both
+for import speed and because :mod:`repro.game` modules import paper
+constants from ``repro.core.config`` — an eager ``__init__`` would
+re-enter the partially-initialised ``repro.game`` package and crash.
 """
 
-from repro.core.action_repetition import ActionRepetitionVerifier
-from repro.core.admission import (
-    AdmissionDecision,
-    estimate_proxy_kbps,
-    estimate_publisher_kbps,
-    feasibility_test,
-)
-from repro.core.config import WatchmenConfig
-from repro.core.disclosure import (
-    ExposureCategory,
-    ExposureHistogram,
-    InfoLevel,
-    coalition_category,
-    watchmen_observer_level,
-)
-from repro.core.messages import (
-    SUB_INTEREST,
-    SUB_VISION,
-    GuidanceMessage,
-    HandoffMessage,
-    KillClaim,
-    PositionUpdate,
-    StateUpdate,
-    SubscriptionRequest,
-    message_size_bits,
-    message_size_bytes,
-    signable_bytes,
-)
-from repro.core.membership import MembershipView, RemovalProposal
-from repro.core.node import HonestBehaviour, NodeBehaviour, WatchmenNode
-from repro.core.protocol import SessionReport, WatchmenSession
-from repro.core.proxy import ProxyAssignment, ProxySchedule
-from repro.core.reputation import (
-    BetaReputation,
-    InteractionTag,
-    ReputationBoard,
-    ThresholdReputation,
-)
-from repro.core.subscriptions import (
-    PlannedSubscriptions,
-    SubscriberTable,
-    SubscriptionPlanner,
-)
-from repro.core.verification import (
-    CheatRating,
-    CheckKind,
-    Confidence,
-    DeviationCalibration,
-    GuidanceVerifier,
-    KillVerifier,
-    PositionVerifier,
-    RateVerifier,
-    SubscriptionVerifier,
+from importlib import import_module
+from typing import Any
+
+#: Public name -> defining submodule, resolved on first attribute access.
+_EXPORTS = {
+    "ActionRepetitionVerifier": "repro.core.action_repetition",
+    "AdmissionDecision": "repro.core.admission",
+    "estimate_proxy_kbps": "repro.core.admission",
+    "estimate_publisher_kbps": "repro.core.admission",
+    "feasibility_test": "repro.core.admission",
+    "WatchmenConfig": "repro.core.config",
+    "FRAME_SECONDS": "repro.core.config",
+    "FRAMES_PER_SECOND": "repro.core.config",
+    "FREQUENT_INTERVAL_FRAMES": "repro.core.config",
+    "PROXY_PERIOD_FRAMES": "repro.core.config",
+    "HANDOFF_DEPTH": "repro.core.config",
+    "INTEREST_SET_SIZE": "repro.core.config",
+    "VISION_HALF_ANGLE": "repro.core.config",
+    "VISION_SLACK": "repro.core.config",
+    "SIGNATURE_BITS": "repro.core.config",
+    "STATE_UPDATE_BITS": "repro.core.config",
+    "MAX_USEFUL_AGE_FRAMES": "repro.core.config",
+    "ExposureCategory": "repro.core.disclosure",
+    "ExposureHistogram": "repro.core.disclosure",
+    "InfoLevel": "repro.core.disclosure",
+    "coalition_category": "repro.core.disclosure",
+    "watchmen_observer_level": "repro.core.disclosure",
+    "SUB_INTEREST": "repro.core.messages",
+    "SUB_VISION": "repro.core.messages",
+    "GuidanceMessage": "repro.core.messages",
+    "HandoffMessage": "repro.core.messages",
+    "KillClaim": "repro.core.messages",
+    "PositionUpdate": "repro.core.messages",
+    "StateUpdate": "repro.core.messages",
+    "SubscriptionRequest": "repro.core.messages",
+    "message_size_bits": "repro.core.messages",
+    "message_size_bytes": "repro.core.messages",
+    "signable_bytes": "repro.core.messages",
+    "MembershipView": "repro.core.membership",
+    "RemovalProposal": "repro.core.membership",
+    "HonestBehaviour": "repro.core.node",
+    "NodeBehaviour": "repro.core.node",
+    "WatchmenNode": "repro.core.node",
+    "SessionReport": "repro.core.protocol",
+    "WatchmenSession": "repro.core.protocol",
+    "ProxyAssignment": "repro.core.proxy",
+    "ProxySchedule": "repro.core.proxy",
+    "BetaReputation": "repro.core.reputation",
+    "InteractionTag": "repro.core.reputation",
+    "ReputationBoard": "repro.core.reputation",
+    "ThresholdReputation": "repro.core.reputation",
+    "PlannedSubscriptions": "repro.core.subscriptions",
+    "SubscriberTable": "repro.core.subscriptions",
+    "SubscriptionPlanner": "repro.core.subscriptions",
+    "CheatRating": "repro.core.verification",
+    "CheckKind": "repro.core.verification",
+    "Confidence": "repro.core.verification",
+    "DeviationCalibration": "repro.core.verification",
+    "GuidanceVerifier": "repro.core.verification",
+    "KillVerifier": "repro.core.verification",
+    "PositionVerifier": "repro.core.verification",
+    "RateVerifier": "repro.core.verification",
+    "SubscriptionVerifier": "repro.core.verification",
+}
+
+_SUBMODULES = frozenset(
+    {
+        "action_repetition",
+        "admission",
+        "config",
+        "disclosure",
+        "membership",
+        "messages",
+        "node",
+        "protocol",
+        "proxy",
+        "reputation",
+        "subscriptions",
+        "verification",
+        "wire",
+    }
 )
 
-__all__ = [
-    "ActionRepetitionVerifier",
-    "AdmissionDecision",
-    "BetaReputation",
-    "CheatRating",
-    "CheckKind",
-    "Confidence",
-    "DeviationCalibration",
-    "ExposureCategory",
-    "ExposureHistogram",
-    "GuidanceMessage",
-    "GuidanceVerifier",
-    "HandoffMessage",
-    "HonestBehaviour",
-    "InfoLevel",
-    "InteractionTag",
-    "KillClaim",
-    "KillVerifier",
-    "MembershipView",
-    "NodeBehaviour",
-    "PlannedSubscriptions",
-    "PositionUpdate",
-    "PositionVerifier",
-    "ProxyAssignment",
-    "ProxySchedule",
-    "RateVerifier",
-    "RemovalProposal",
-    "ReputationBoard",
-    "SUB_INTEREST",
-    "SUB_VISION",
-    "SessionReport",
-    "StateUpdate",
-    "SubscriberTable",
-    "SubscriptionPlanner",
-    "SubscriptionRequest",
-    "SubscriptionVerifier",
-    "ThresholdReputation",
-    "WatchmenConfig",
-    "WatchmenNode",
-    "WatchmenSession",
-    "coalition_category",
-    "estimate_proxy_kbps",
-    "estimate_publisher_kbps",
-    "feasibility_test",
-    "message_size_bits",
-    "message_size_bytes",
-    "signable_bytes",
-    "watchmen_observer_level",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    target = _EXPORTS.get(name)
+    if target is not None:
+        value = getattr(import_module(target), name)
+        globals()[name] = value  # cache: subsequent lookups skip __getattr__
+        return value
+    if name in _SUBMODULES:
+        return import_module(f"repro.core.{name}")
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS) | _SUBMODULES)

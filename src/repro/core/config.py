@@ -9,41 +9,109 @@ All paper-given constants live here with their provenance:
 - IS of size 5, ±60° vision cone (slack-enlarged);
 - ~100-bit signatures, ~700-bit average state updates;
 - 150 ms tolerable latency ⇒ updates older than 3 frames count as loss.
+
+The module-level ``Final`` names below are the single source of truth for
+these numbers; other modules must import them rather than re-state the
+literals (enforced by lint rule C601).  This module is an import leaf —
+it depends on the stdlib only — so any module in ``repro.{core,game,net}``
+can import it without creating a package cycle (``repro.core.__init__``
+resolves its re-exports lazily for the same reason).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Final
 
-from repro.game.interest import InterestConfig
+if TYPE_CHECKING:
+    from repro.game.interest import InterestConfig
 
-__all__ = ["WatchmenConfig"]
+__all__ = [
+    "FRAME_SECONDS",
+    "FRAMES_PER_SECOND",
+    "FREQUENT_INTERVAL_FRAMES",
+    "PROXY_PERIOD_FRAMES",
+    "HANDOFF_DEPTH",
+    "INTEREST_SET_SIZE",
+    "VISION_HALF_ANGLE",
+    "VISION_SLACK",
+    "SIGNATURE_BITS",
+    "STATE_UPDATE_BITS",
+    "MAX_USEFUL_AGE_FRAMES",
+    "WatchmenConfig",
+]
+
+#: 50 ms frame — the Quake III event-loop period (Section II).
+FRAME_SECONDS: Final[float] = 0.05
+
+#: Frames per wall-clock second; the 1 Hz dissemination tiers (guidance,
+#: position-only) fire once per this many frames (Section III-A).
+FRAMES_PER_SECOND: Final[int] = 20
+
+#: IS tier: a frequent update every frame (50 ms).
+FREQUENT_INTERVAL_FRAMES: Final[int] = 1
+
+#: Proxy renewal "every couple of seconds" — 40 frames = 2 s (Section IV).
+PROXY_PERIOD_FRAMES: Final[int] = 40
+
+#: Handoff follow-up depth: two previous proxies (Section IV).
+HANDOFF_DEPTH: Final[int] = 2
+
+#: "the size of the IS can be fixed (e.g., 5)" (Section III-A).
+INTEREST_SET_SIZE: Final[int] = 5
+
+#: Quake III ±60° vision cone half-angle (Section III-A, Figure 2).
+VISION_HALF_ANGLE: Final[float] = math.radians(60.0)
+
+#: Cone enlargement so rapid spins do not miss avatars (Section III-A).
+VISION_SLACK: Final[float] = math.radians(15.0)
+
+#: ~100-bit lightweight signatures (Section IV).
+SIGNATURE_BITS: Final[int] = 100
+
+#: ~700-bit average full (non-delta) state update (Section IV).
+STATE_UPDATE_BITS: Final[int] = 700
+
+#: 150 ms tolerable latency ⇒ updates older than 3 frames count as loss.
+MAX_USEFUL_AGE_FRAMES: Final[int] = 3
+
+
+def _default_interest() -> "InterestConfig":
+    # Imported lazily so this module stays an import leaf (game.interest
+    # itself imports the vision-cone constants from here).
+    from repro.game.interest import InterestConfig
+
+    return InterestConfig()
 
 
 @dataclass(frozen=True)
 class WatchmenConfig:
     """Tuning knobs of a Watchmen session."""
 
-    frame_seconds: float = 0.05
+    frame_seconds: float = FRAME_SECONDS
     # -- dissemination rates (paper Section III-A) --------------------------
-    frequent_interval_frames: int = 1  # IS: every 50 ms
-    guidance_interval_frames: int = 20  # VS: one per second
-    position_interval_frames: int = 20  # Others: typically every second
-    guidance_horizon_frames: int = 20  # DR prediction validity
+    frequent_interval_frames: int = FREQUENT_INTERVAL_FRAMES  # IS: every 50 ms
+    guidance_interval_frames: int = FRAMES_PER_SECOND  # VS: one per second
+    position_interval_frames: int = FRAMES_PER_SECOND  # Others: every second
+    guidance_horizon_frames: int = FRAMES_PER_SECOND  # DR prediction validity
     guidance_check_frames: int = 8  # verification window for guidance
+    #: Publish a full keyframe StateUpdate (resetting delta coding) once a
+    #: second even when deltas would do.
+    keyframe_interval_frames: int = FRAMES_PER_SECOND
     # -- proxy architecture (Sections III-B, IV) -----------------------------
-    proxy_period_frames: int = 40  # renewal "every couple of seconds"
-    handoff_depth: int = 2  # follow-up on two previous proxies
+    proxy_period_frames: int = PROXY_PERIOD_FRAMES
+    handoff_depth: int = HANDOFF_DEPTH  # follow-up on two previous proxies
     common_seed: bytes = b"watchmen-session"
     # -- subscriptions (Section VI latency optimizations) --------------------
-    subscription_retention_frames: int = 40  # keep subs alive w/o refresh
+    subscription_retention_frames: int = PROXY_PERIOD_FRAMES  # keep subs alive
     predict_ahead: bool = True  # subscribe for the *coming* frame
     relax_first_hop: bool = False  # send updates directly (lower security)
     # -- interest management --------------------------------------------------
-    interest: InterestConfig = field(default_factory=InterestConfig)
+    interest: InterestConfig = field(default_factory=_default_interest)
     # -- wire-size model (Section IV: 100-bit signatures, 700-bit updates) ---
-    signature_bits: int = 100
-    state_update_bits: int = 700  # full (non-delta) state update payload
+    signature_bits: int = SIGNATURE_BITS
+    state_update_bits: int = STATE_UPDATE_BITS  # full state update payload
     #: Delta coding ("updates show high temporal similarities and can be
     #: delta-coded, only including the differences"): a delta update pays a
     #: small base plus per-changed-field costs.
@@ -59,7 +127,7 @@ class WatchmenConfig:
     #: (Section V-A's "more accuracy but higher costs" option).
     action_repetition: bool = False
     # -- responsiveness accounting -------------------------------------------
-    max_useful_age_frames: int = 3  # ≥150 ms counts as loss (Quake bound)
+    max_useful_age_frames: int = MAX_USEFUL_AGE_FRAMES  # ≥150 ms counts as loss
 
     _DELTA_FIELD_BITS = {
         "position": 96,
@@ -87,6 +155,8 @@ class WatchmenConfig:
             raise ValueError("guidance_interval_frames must be positive")
         if self.position_interval_frames <= 0:
             raise ValueError("position_interval_frames must be positive")
+        if self.keyframe_interval_frames <= 0:
+            raise ValueError("keyframe_interval_frames must be positive")
         if self.handoff_depth < 0:
             raise ValueError("handoff_depth must be non-negative")
         if self.signature_bits <= 0 or self.state_update_bits <= 0:

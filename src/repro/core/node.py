@@ -418,7 +418,7 @@ class WatchmenNode:
         if frame % cfg.frequent_interval_frames == 0:
             # Delta-code against the previous update; send a keyframe once
             # per second so late receivers resynchronise.
-            if self._last_published is None or frame % 20 == 0:
+            if self._last_published is None or frame % cfg.keyframe_interval_frames == 0:
                 delta: tuple[str, ...] = ()
             else:
                 delta = tuple(

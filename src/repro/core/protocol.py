@@ -19,7 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.config import WatchmenConfig
+from repro.core.config import MAX_USEFUL_AGE_FRAMES, WatchmenConfig
 from repro.core.messages import GameMessage, GuidanceMessage, StateUpdate
 from repro.core.node import NodeBehaviour, WatchmenNode
 from repro.core.proxy import ProxySchedule
@@ -74,7 +74,7 @@ class SessionReport:
             age: count / total for age, count in sorted(self.age_histogram.items())
         }
 
-    def stale_fraction(self, max_useful_age: int = 3) -> float:
+    def stale_fraction(self, max_useful_age: int = MAX_USEFUL_AGE_FRAMES) -> float:
         """Fraction of received updates older than the Quake bound (loss)."""
         total = sum(self.age_histogram.values())
         if total == 0:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import PROXY_PERIOD_FRAMES
 from repro.crypto.prng import VerifiablePrng
 from repro.obs.registry import MetricsRegistry, get_registry
 
@@ -41,7 +42,7 @@ class ProxySchedule:
         self,
         roster: list[int],
         common_seed: bytes = b"watchmen-session",
-        proxy_period_frames: int = 40,
+        proxy_period_frames: int = PROXY_PERIOD_FRAMES,
         proxy_pool: list[int] | None = None,
         pool_weights: dict[int, int] | None = None,
         infrastructure: list[int] | None = None,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace as dataclass_replace
 
+from repro.core.config import FRAME_SECONDS
 from repro.game.avatar import AvatarSnapshot
 from repro.game.deadreckoning import (
     GuidancePrediction,
@@ -233,7 +234,7 @@ class AimVerifier:
     def __init__(
         self,
         max_turn_rate: float = 12.0,
-        frame_seconds: float = 0.05,
+        frame_seconds: float = FRAME_SECONDS,
         tolerance: float = 1.3,
         max_gap_frames: int = 5,
     ) -> None:
@@ -288,7 +289,7 @@ class GuidanceVerifier:
 
     def __init__(
         self,
-        frame_seconds: float = 0.05,
+        frame_seconds: float = FRAME_SECONDS,
         calibration: DeviationCalibration | None = None,
         sigmas: float = 2.0,
         check_horizon_frames: int = 8,
@@ -464,7 +465,7 @@ class ProjectileTracker:
         weapon: str,
         claim_frame: int,
         target_position: Vec3,
-        frame_seconds: float = 0.05,
+        frame_seconds: float = FRAME_SECONDS,
     ) -> tuple[float, int] | None:
         """(min distance, flight frames) of the best matching spawn.
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import FRAME_SECONDS, FRAMES_PER_SECOND
 from repro.game.avatar import AvatarSnapshot
 from repro.game.vector import Vec3
 
@@ -37,14 +38,14 @@ class GuidancePrediction:
     yaw: float
     horizon_frames: int  # how far ahead the prediction is meant to hold
 
-    def position_at(self, frame: int, frame_seconds: float = 0.05) -> Vec3:
+    def position_at(self, frame: int, frame_seconds: float = FRAME_SECONDS) -> Vec3:
         """Predicted position at ``frame`` (clamped to the horizon)."""
         ahead = min(max(0, frame - self.frame), self.horizon_frames)
         return self.origin + self.velocity * (ahead * frame_seconds)
 
 
 def predict_linear(
-    snapshot: AvatarSnapshot, horizon_frames: int = 20
+    snapshot: AvatarSnapshot, horizon_frames: int = FRAMES_PER_SECOND
 ) -> GuidancePrediction:
     """First-order prediction: constant current velocity.
 
@@ -67,7 +68,7 @@ def simulate_guidance(
     prediction: GuidancePrediction,
     start_frame: int,
     end_frame: int,
-    frame_seconds: float = 0.05,
+    frame_seconds: float = FRAME_SECONDS,
 ) -> list[Vec3]:
     """The receiver-side simulated trajectory across [start, end] frames."""
     if end_frame < start_frame:
@@ -79,7 +80,7 @@ def simulate_guidance(
 
 
 def trajectory_deviation_area(
-    predicted: list[Vec3], actual: list[Vec3], frame_seconds: float = 0.05
+    predicted: list[Vec3], actual: list[Vec3], frame_seconds: float = FRAME_SECONDS
 ) -> float:
     """Area (u·s) between predicted and actual trajectories.
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.core.config import INTEREST_SET_SIZE, VISION_HALF_ANGLE, VISION_SLACK
 from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap, eye_position
 from repro.game.vector import Vec3
@@ -46,10 +47,10 @@ class SetKind:
 class InterestConfig:
     """Tunables of the subscription model (paper defaults)."""
 
-    vision_half_angle: float = math.radians(60.0)  # Quake III ±60°
-    vision_slack: float = math.radians(15.0)  # enlargement for fast spins
+    vision_half_angle: float = VISION_HALF_ANGLE  # Quake III ±60°
+    vision_slack: float = VISION_SLACK  # enlargement for fast spins
     vision_radius: float = 2500.0
-    interest_size: int = 5  # "the size of the IS can be fixed (e.g., 5)"
+    interest_size: int = INTEREST_SET_SIZE  # "can be fixed (e.g., 5)"
     recency_halflife_frames: int = 60  # interaction recency decay
     proximity_scale: float = 800.0  # distance at which proximity ~ 0.5
 

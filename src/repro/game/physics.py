@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.config import FRAME_SECONDS
 from repro.game.gamemap import GameMap
 from repro.game.vector import Vec3, clamp
 
@@ -25,7 +26,7 @@ __all__ = ["PhysicsConfig", "MoveIntent", "MoveResult", "Physics"]
 class PhysicsConfig:
     """Tunable movement envelope (defaults match Quake III)."""
 
-    frame_seconds: float = 0.05
+    frame_seconds: float = FRAME_SECONDS
     max_ground_speed: float = 320.0
     max_air_speed: float = 360.0
     gravity: float = 800.0

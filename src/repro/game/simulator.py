@@ -16,6 +16,7 @@ import math
 from random import Random
 from dataclasses import dataclass
 
+from repro.core.config import FRAME_SECONDS
 from repro.game.avatar import AvatarState
 from repro.game.bots import BotController, HumanlikeBot, WaypointBot
 from repro.game.gamemap import GameMap, make_longest_yard
@@ -40,7 +41,7 @@ class SimulationConfig:
     num_frames: int = 1200
     seed: int = 7
     npc_fraction: float = 0.0  # fraction of players driven by WaypointBot
-    frame_seconds: float = 0.05
+    frame_seconds: float = FRAME_SECONDS
 
     def __post_init__(self) -> None:
         if self.num_players < 2:

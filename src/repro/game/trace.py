@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Iterator
 
+from repro.core.config import FRAME_SECONDS
 from repro.game.avatar import AvatarSnapshot
 from repro.game.vector import Vec3
 
@@ -64,7 +65,7 @@ class GameTrace:
 
     map_name: str
     num_players: int
-    frame_seconds: float = 0.05
+    frame_seconds: float = FRAME_SECONDS
     seed: int = 0
     frames: list[dict[int, AvatarSnapshot]] = field(default_factory=list)
     shots: list[ShotEvent] = field(default_factory=list)

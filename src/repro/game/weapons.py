@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.config import FRAME_SECONDS
 from repro.game.gamemap import GameMap, eye_position
 from repro.game.vector import Vec3
 
@@ -83,7 +84,7 @@ def resolve_shot(
     shooter_pos: Vec3,
     shooter_yaw: float,
     target_pos: Vec3,
-    frame_seconds: float = 0.05,
+    frame_seconds: float = FRAME_SECONDS,
     roll: float = 0.0,
 ) -> ShotOutcome:
     """Resolve a shot fired along ``shooter_yaw`` against one target.

@@ -20,7 +20,13 @@ from pathlib import Path
 
 from repro.lint.violations import Violation
 
-__all__ = ["BASELINE_SCHEMA", "load_baseline", "write_baseline", "apply_baseline"]
+__all__ = [
+    "BASELINE_SCHEMA",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "ratchet_regressions",
+]
 
 BASELINE_SCHEMA = "repro.lint-baseline.v1"
 
@@ -82,3 +88,54 @@ def apply_baseline(
         else:
             fresh.append(violation)
     return fresh, suppressed
+
+
+def ratchet_regressions(old_path: Path, new_path: Path) -> list[str]:
+    """Shrink-only gate: entries ``new`` has beyond ``old``, rendered.
+
+    The baseline may lose entries (violations fixed) and may never gain
+    any — neither new fingerprints nor a higher count for an existing
+    one.  Returns a human-readable line per regression; empty means the
+    ratchet holds.
+    """
+    old = load_baseline(old_path)
+    new = load_baseline(new_path)
+    regressions: list[str] = []
+    for fingerprint, count in sorted(new.items()):
+        allowed = old.get(fingerprint, 0)
+        if count > allowed:
+            rule, path, context = fingerprint
+            regressions.append(
+                f"{rule} {path} ({count} > {allowed} allowed): {context!r}"
+            )
+    return regressions
+
+
+def _ratchet_main(argv: list[str] | None = None) -> int:
+    """``python -m repro.lint.baseline OLD NEW`` — exit 1 on regression."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint.baseline",
+        description="fail if NEW baseline gained entries relative to OLD",
+    )
+    parser.add_argument("old", type=Path, help="reference baseline (e.g. origin/main)")
+    parser.add_argument("new", type=Path, help="candidate baseline (working tree)")
+    args = parser.parse_args(argv)
+    try:
+        regressions = ratchet_regressions(args.old, args.new)
+    except ValueError as error:
+        print(f"lint-baseline ratchet: {error}", file=sys.stderr)
+        return 2
+    if regressions:
+        print("lint-baseline ratchet: baseline grew (it may only shrink):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("lint-baseline ratchet: ok (no new suppressions)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(_ratchet_main())

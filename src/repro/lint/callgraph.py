@@ -1,0 +1,323 @@
+"""Module-qualified call graph over ``src/repro`` for whole-program rules.
+
+The F (information-flow) and R (routing) families need to answer questions
+no per-file pass can: *does the function containing this send ever consult
+the subscription tables?* / *can this function be reached without passing
+through the proxy layer?*  This module builds the supporting structure
+from already-parsed ASTs:
+
+* every module-level function and class method becomes a node, keyed by
+  its qualified name (``repro.core.node.WatchmenNode._transmit``);
+* every ``ast.Call`` inside a function body becomes one or more edges.
+
+Call resolution is deliberately conservative, in three tiers:
+
+1. **Exact** — bare names resolve through the module's own definitions and
+   its ``import``/``from … import`` table; ``self.method(...)`` resolves
+   through the enclosing class.
+2. **By name** (CHA-lite) — an attribute call ``obj.frobnicate(...)``
+   whose receiver type is unknown resolves to *every* known function named
+   ``frobnicate``.  This over-approximates (extra edges, never missing
+   ones), which is the safe direction for "is there a gate on this path"
+   questions.
+3. **Unresolved** — calls into the stdlib or other unknowns produce no
+   edge.
+
+Known blind spots (see docs/STATIC_ANALYSIS.md): dynamic dispatch through
+``getattr``/dicts of callables, monkeypatching at runtime, and callables
+passed as values (``send=self.network.send``) are invisible to the graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = [
+    "FunctionInfo",
+    "ParsedModule",
+    "CallGraph",
+    "build_call_graph",
+    "module_name_for",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedModule:
+    """One source module handed to the graph builder."""
+
+    module: str  # dotted name, e.g. "repro.core.node"
+    path: str  # repo-relative posix path
+    tree: ast.Module
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInfo:
+    """One call-graph node: a module-level function or a class method."""
+
+    qname: str
+    module: str
+    name: str
+    class_name: str | None
+    path: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(slots=True)
+class _ModuleScope:
+    """Per-module name-resolution context collected in phase 1."""
+
+    module: str
+    #: local name -> dotted target ("from x import y" and "import x as z")
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level function names defined here
+    functions: set[str] = field(default_factory=set)
+    #: class name -> its method names
+    classes: dict[str, set[str]] = field(default_factory=dict)
+
+
+def module_name_for(rel_path: str) -> str | None:
+    """``src/repro/core/node.py`` -> ``repro.core.node`` (None if outside)."""
+    parts = rel_path.split("/")
+    if len(parts) < 2 or parts[0] != "src" or not parts[-1].endswith(".py"):
+        return None
+    dotted = parts[1:]
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    return ".".join(dotted) if dotted else None
+
+
+def _record_imports(scope: _ModuleScope, tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                scope.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports are not used in this tree
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                scope.imports[local] = f"{node.module}.{alias.name}"
+
+
+class CallGraph:
+    """Functions + resolved call edges, with the traversals the rules need."""
+
+    def __init__(
+        self,
+        functions: dict[str, FunctionInfo],
+        callees: dict[str, frozenset[str]],
+        exact_callees: dict[str, frozenset[str]] | None = None,
+    ) -> None:
+        self.functions = functions
+        self._callees = callees
+        self._exact_callees = exact_callees or {}
+        self._callers: dict[str, set[str]] = {}
+        for caller, targets in callees.items():
+            for target in targets:
+                self._callers.setdefault(target, set()).add(caller)
+        self._by_name: dict[str, set[str]] = {}
+        for qname, info in functions.items():
+            self._by_name.setdefault(info.name, set()).add(qname)
+        self._scopes: dict[str, _ModuleScope] = {}
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qname: str) -> frozenset[str]:
+        return self._callees.get(qname, frozenset())
+
+    def exact_callees(self, qname: str) -> frozenset[str]:
+        """Only tier-1 (import/local/self) edges — no by-name guesses.
+
+        Use this when an edge serves as *evidence* that a path property
+        holds (e.g. R501's "routes through the proxy layer"): a by-name
+        edge to a same-named method elsewhere must not vouch for anything.
+        """
+        return self._exact_callees.get(qname, frozenset())
+
+    def callers(self, qname: str) -> frozenset[str]:
+        return frozenset(self._callers.get(qname, set()))
+
+    def named(self, name: str) -> frozenset[str]:
+        """Every known function with this bare name (any module/class)."""
+        return frozenset(self._by_name.get(name, set()))
+
+    def roots(self) -> frozenset[str]:
+        """Functions nothing in the analyzed tree calls — the API surface."""
+        return frozenset(
+            qname for qname in self.functions if not self._callers.get(qname)
+        )
+
+    def transitively_reaches(self, start: str, targets: frozenset[str]) -> bool:
+        """Is any of ``targets`` reachable from ``start`` along call edges?"""
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for callee in self._callees.get(current, ()):
+                if callee in targets:
+                    return True
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        return False
+
+    def reachable_avoiding(
+        self, roots: Iterable[str], blocked: frozenset[str]
+    ) -> frozenset[str]:
+        """Functions reachable from ``roots`` without entering ``blocked``.
+
+        The F401 dominance approximation: a function *not* in this set is
+        only ever reached through a blocked (gate-calling) function.
+        """
+        seen: set[str] = set()
+        queue = deque(root for root in roots if root not in blocked)
+        seen.update(queue)
+        while queue:
+            current = queue.popleft()
+            for callee in self._callees.get(current, ()):
+                if callee in blocked or callee in seen:
+                    continue
+                seen.add(callee)
+                queue.append(callee)
+        return frozenset(seen)
+
+    # -- call-site resolution (shared with the rule modules) ---------------
+
+    def resolve_call(
+        self, module: str, class_name: str | None, call: ast.Call
+    ) -> frozenset[str]:
+        """Candidate callee qnames for one ``ast.Call`` (may be empty)."""
+        scope = self._scopes.get(module)
+        if scope is None:
+            return frozenset()
+        exact, fallback = self._resolve(scope, class_name, call.func)
+        return exact | fallback
+
+    def _resolve(
+        self, scope: _ModuleScope, class_name: str | None, func: ast.expr
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(exact targets, by-name guesses) for one callee expression."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in scope.functions:
+                return frozenset({f"{scope.module}.{name}"}), frozenset()
+            target = scope.imports.get(name)
+            if target is not None:
+                if target in self.functions:
+                    return frozenset({target}), frozenset()
+                # Class constructor or a function outside the tree: keep
+                # the raw target (rules match on prefixes) plus same-name
+                # functions as a fallback.
+                return frozenset({target}), self.named(name)
+            return frozenset(), self.named(name)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "self" and class_name is not None:
+                    methods = scope.classes.get(class_name, set())
+                    if attr in methods:
+                        return (
+                            frozenset({f"{scope.module}.{class_name}.{attr}"}),
+                            frozenset(),
+                        )
+                target = scope.imports.get(value.id)
+                if target is not None:
+                    qname = f"{target}.{attr}"
+                    if qname in self.functions:
+                        return frozenset({qname}), frozenset()
+                    return frozenset({qname}), self.named(attr)
+            return frozenset(), self.named(attr)
+        return frozenset(), frozenset()
+
+
+def _collect_functions(
+    parsed: ParsedModule, scope: _ModuleScope
+) -> list[FunctionInfo]:
+    infos: list[FunctionInfo] = []
+    for node in parsed.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scope.functions.add(node.name)
+            infos.append(
+                FunctionInfo(
+                    qname=f"{parsed.module}.{node.name}",
+                    module=parsed.module,
+                    name=node.name,
+                    class_name=None,
+                    path=parsed.path,
+                    lineno=node.lineno,
+                    node=node,
+                )
+            )
+        elif isinstance(node, ast.ClassDef):
+            methods = scope.classes.setdefault(node.name, set())
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(item.name)
+                    infos.append(
+                        FunctionInfo(
+                            qname=f"{parsed.module}.{node.name}.{item.name}",
+                            module=parsed.module,
+                            name=item.name,
+                            class_name=node.name,
+                            path=parsed.path,
+                            lineno=item.lineno,
+                            node=item,
+                        )
+                    )
+    return infos
+
+
+def build_call_graph(modules: Iterable[ParsedModule]) -> CallGraph:
+    """Two-phase construction: collect every definition, then resolve calls."""
+    scopes: dict[str, _ModuleScope] = {}
+    functions: dict[str, FunctionInfo] = {}
+    per_module: list[tuple[ParsedModule, list[FunctionInfo]]] = []
+
+    for parsed in modules:
+        scope = _ModuleScope(module=parsed.module)
+        _record_imports(scope, parsed.tree)
+        infos = _collect_functions(parsed, scope)
+        scopes[parsed.module] = scope
+        for info in infos:
+            functions[info.qname] = info
+        per_module.append((parsed, infos))
+
+    graph = CallGraph(functions, {})
+    graph._scopes = scopes
+
+    callees: dict[str, frozenset[str]] = {}
+    exact_callees: dict[str, frozenset[str]] = {}
+    for parsed, infos in per_module:
+        scope = scopes[parsed.module]
+        for info in infos:
+            exact_targets: set[str] = set()
+            all_targets: set[str] = set()
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    exact, fallback = graph._resolve(
+                        scope, info.class_name, node.func
+                    )
+                    exact_targets.update(exact)
+                    all_targets.update(exact)
+                    all_targets.update(fallback)
+            exact_targets.discard(info.qname)  # self-recursion adds nothing
+            all_targets.discard(info.qname)
+            if all_targets:
+                callees[info.qname] = frozenset(all_targets)
+            if exact_targets:
+                exact_callees[info.qname] = frozenset(exact_targets)
+
+    # Rebuild with the real edge set (CallGraph precomputes callers).
+    result = CallGraph(functions, callees, exact_callees)
+    result._scopes = scopes
+    return result

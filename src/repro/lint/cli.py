@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.lint.baseline import write_baseline
@@ -63,6 +64,20 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="list every rule with its one-line summary and exit",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "github"),
+        default="text",
+        dest="output_format",
+        help="violation output format: plain text (default) or GitHub "
+        "Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite C601 config-drift literals to their named constants "
+        "(adds the core/config.py import) and exit",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,7 +113,61 @@ def _list_rules() -> int:
     return 0
 
 
-def _write_json_artifact(report: LintReport, path: str) -> None:
+def _cmd_fix(root: Path) -> int:
+    """Apply the C601 autofixer in place; returns a process exit code."""
+    import ast
+
+    from repro.lint.configdrift import (
+        apply_fixes,
+        extract_constants,
+        find_drift_sites,
+    )
+
+    program_root = root / "src" / "repro"
+    if not program_root.is_dir():
+        print(f"repro lint: no src/repro under {root}", file=sys.stderr)
+        return 2
+    constants = extract_constants(program_root / "core" / "config.py")
+    files: dict[str, ast.Module] = {}
+    sources: dict[str, str] = {}
+    for file in sorted(program_root.rglob("*.py")):
+        rel = file.resolve().relative_to(root.resolve()).as_posix()
+        source = file.read_text(encoding="utf-8")
+        try:
+            files[rel] = ast.parse(source)
+        except SyntaxError:
+            continue
+        sources[rel] = source
+    sites = find_drift_sites(files, constants)
+    if not sites:
+        print("repro lint --fix: nothing to rewrite")
+        return 0
+    for rel, new_source in sorted(apply_fixes(sites, sources).items()):
+        (root / rel).write_text(new_source, encoding="utf-8")
+        count = sum(1 for s in sites if s.path == rel)
+        print(f"fixed {rel}: {count} literal(s) -> named constants")
+    print(f"repro lint --fix: rewrote {len(sites)} literal(s)")
+    return 0
+
+
+def _github_annotations(report: LintReport) -> str:
+    lines = [
+        f"::error file={v.path},line={v.line}::{v.rule} {v.message}"
+        for v in sorted(
+            report.violations, key=lambda v: (v.path, v.line, v.rule)
+        )
+    ]
+    summary = (
+        f"repro lint: {report.files_scanned} files, "
+        f"{len(report.violations)} new violation(s), "
+        f"{report.suppressed} baseline-suppressed"
+    )
+    return "\n".join([*lines, summary])
+
+
+def _write_json_artifact(
+    report: LintReport, path: str, wall_seconds: float | None = None
+) -> None:
     # Deferred import: keeps `python -m repro.lint --explain ...` usable
     # even if the obs layer grows heavier dependencies someday.
     from repro.obs.emit import bench_row, write_bench_json
@@ -114,6 +183,8 @@ def _write_json_artifact(report: LintReport, path: str) -> None:
         metrics[f"violations.{family}"] = float(counts_by_family.get(family, 0))
     for rule, count in sorted(report.counts_by_rule().items()):
         metrics[f"violations.{rule}"] = float(count)
+    if wall_seconds is not None:
+        metrics["wall_seconds"] = wall_seconds
     row = bench_row(bench="lint", params={}, metrics=metrics)
     if path == "-":
         import json
@@ -134,6 +205,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if not root.is_dir():
         print(f"repro lint: root is not a directory: {root}", file=sys.stderr)
         return 2
+    if getattr(args, "fix", False):
+        return _cmd_fix(root)
     baseline_path: Path | None
     if args.no_baseline:
         baseline_path = None
@@ -151,11 +224,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
         paths=tuple(Path(p) for p in args.paths),
         baseline_path=baseline_path,
     )
+    started = time.perf_counter()
     try:
         report = run_lint(config)
     except (FileNotFoundError, ValueError) as error:
         print(f"repro lint: {error}", file=sys.stderr)
         return 2
+    wall_seconds = time.perf_counter() - started
 
     if args.write_baseline:
         target = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
@@ -167,8 +242,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     if args.json:
-        _write_json_artifact(report, args.json)
-    print(report.render())
+        _write_json_artifact(report, args.json, wall_seconds=wall_seconds)
+    if getattr(args, "output_format", "text") == "github":
+        print(_github_annotations(report))
+    else:
+        print(report.render())
     return 1 if report.violations else 0
 
 

@@ -4,7 +4,7 @@ Dependency-free by design (stdlib ``ast`` only): the analyzer must run in
 CI before anything is installed, and must never disagree with itself
 across environments.
 
-Per-file scoping:
+Rule scoping:
 
 * **T rules** run on every ``src/repro`` file scanned.
 * **D rules** run only inside the deterministic packages
@@ -12,10 +12,16 @@ Per-file scoping:
   CLI legitimately read wall clocks.
 * **P rules** run once per invocation over the messages/node/wire triple
   (paths configurable so tests can lint synthetic fixture trees).
+* **F/R/C rules** are whole-program: regardless of which paths were
+  requested, they analyze everything under ``<root>/src/repro`` (a call
+  graph over a file subset would miss edges and lie).  Every file is
+  parsed exactly once — the scan pass and the whole-program pass share a
+  cache keyed by resolved path.
 
 Inline escape hatch: a source line containing ``repro-lint: ignore`` (or
 ``repro-lint: ignore[D102]`` to scope it) is exempt — use sparingly, with
-a justifying comment; prefer fixing or baselining.
+a justifying comment; prefer fixing or baselining.  It applies to every
+family, including whole-program findings.
 """
 
 from __future__ import annotations
@@ -27,8 +33,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.callgraph import ParsedModule, build_call_graph, module_name_for
+from repro.lint.configdrift import run_configdrift_rules
 from repro.lint.determinism import DETERMINISTIC_PACKAGES, run_determinism_rules
+from repro.lint.flow import run_flow_rules
 from repro.lint.protocol import ProtocolSources, run_protocol_rules
+from repro.lint.routing import run_routing_rules
 from repro.lint.typing_rules import run_typing_rules
 from repro.lint.violations import Violation, family_of
 
@@ -51,6 +61,10 @@ class LintConfig:
         if self.paths:
             return self.paths
         return (self.root / "src" / "repro",)
+
+    def program_root(self) -> Path:
+        """Where the whole-program families (F/R/C) look."""
+        return self.root / "src" / "repro"
 
     def protocol_sources(self) -> ProtocolSources:
         core = self.root / "src" / "repro" / "core"
@@ -145,32 +159,84 @@ def _inline_ignored(violation: Violation, source_lines: list[str]) -> bool:
     return violation.rule in {r.strip() for r in rules.split(",")}
 
 
+class _ParseCache:
+    """Parse every file at most once per invocation."""
+
+    def __init__(self, root: Path) -> None:
+        self._root = root
+        self._entries: dict[Path, tuple[str, ast.Module | None, list[str]]] = {}
+
+    def parse(self, file: Path) -> tuple[str, ast.Module | None, list[str]]:
+        """(rel, tree-or-None, source lines); tree is None on syntax error."""
+        resolved = file.resolve()
+        cached = self._entries.get(resolved)
+        if cached is not None:
+            return cached
+        rel = _relpath(file, self._root)
+        source = file.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree: ast.Module | None
+        try:
+            tree = ast.parse(source, filename=str(file))
+        except SyntaxError:
+            tree = None
+        entry = (rel, tree, lines)
+        self._entries[resolved] = entry
+        return entry
+
+    def syntax_error(self, file: Path) -> SyntaxError | None:
+        try:
+            ast.parse(file.read_text(encoding="utf-8"), filename=str(file))
+        except SyntaxError as error:
+            return error
+        return None
+
+
+def _dedupe(violations: list[Violation]) -> list[Violation]:
+    """Drop exact duplicates (same rule/path/line/message), keeping order.
+
+    Guards against the same file being analyzed twice — e.g. passed both
+    via a directory scan and as an explicit path under a different
+    spelling or symlink — which would otherwise double-count against the
+    baseline's multiplicity budget.
+    """
+    seen: set[tuple[str, str, int, str]] = set()
+    unique: list[Violation] = []
+    for violation in violations:
+        key = (violation.rule, violation.path, violation.line, violation.message)
+        if key not in seen:
+            seen.add(key)
+            unique.append(violation)
+    return unique
+
+
 def run_lint(config: LintConfig) -> LintReport:
     """Scan, cross-reference, subtract the baseline; never writes files."""
     report = LintReport()
     found: list[Violation] = []
+    cache = _ParseCache(config.root)
+    lines_by_rel: dict[str, list[str]] = {}
 
     for file in _collect_files(config.scan_paths()):
-        rel = _relpath(file, config.root)
+        rel, tree, source_lines = cache.parse(file)
         if _repro_parts(rel) is None and config.paths == ():
             continue
-        source = file.read_text(encoding="utf-8")
-        try:
-            tree = ast.parse(source, filename=str(file))
-        except SyntaxError as error:
+        lines_by_rel[rel] = source_lines
+        report.files_scanned += 1
+        if tree is None:
+            error = cache.syntax_error(file)
             found.append(
                 Violation(
                     rule="E000",
                     path=rel,
-                    line=error.lineno or 1,
-                    message=f"file does not parse: {error.msg}",
+                    line=(error.lineno or 1) if error else 1,
+                    message=(
+                        f"file does not parse: {error.msg if error else 'unknown'}"
+                    ),
                     context="",
                 )
             )
-            report.files_scanned += 1
             continue
-        source_lines = source.splitlines()
-        report.files_scanned += 1
 
         file_violations: list[Violation] = []
         file_violations.extend(run_typing_rules(rel, tree, source_lines))
@@ -196,11 +262,54 @@ def run_lint(config: LintConfig) -> LintReport:
             for v in protocol_violations
         )
 
-    report.all_violations = list(found)
+    found.extend(_run_whole_program(config, cache, lines_by_rel))
+
+    report.all_violations = _dedupe(found)
     baseline = (
         load_baseline(config.baseline_path)
         if config.baseline_path is not None
         else Counter()
     )
-    report.violations, report.suppressed = apply_baseline(found, baseline)
+    report.violations, report.suppressed = apply_baseline(
+        report.all_violations, baseline
+    )
     return report
+
+
+def _run_whole_program(
+    config: LintConfig,
+    cache: _ParseCache,
+    lines_by_rel: dict[str, list[str]],
+) -> list[Violation]:
+    """F/R/C families over the full ``<root>/src/repro`` tree."""
+    program_root = config.program_root()
+    if not program_root.is_dir():
+        return []
+    modules: list[ParsedModule] = []
+    trees_by_rel: dict[str, ast.Module] = {}
+    for file in sorted(program_root.rglob("*.py")):
+        rel, tree, source_lines = cache.parse(file)
+        if tree is None:
+            continue  # E000 is reported by the scan pass when requested
+        lines_by_rel.setdefault(rel, source_lines)
+        trees_by_rel[rel] = tree
+        module = module_name_for(rel)
+        if module is not None:
+            modules.append(ParsedModule(module=module, path=rel, tree=tree))
+
+    graph = build_call_graph(modules)
+    found: list[Violation] = []
+    found.extend(run_flow_rules(graph, lines_by_rel))
+    found.extend(run_routing_rules(graph, lines_by_rel))
+    found.extend(
+        run_configdrift_rules(
+            trees_by_rel,
+            lines_by_rel,
+            program_root / "core" / "config.py",
+        )
+    )
+    return [
+        v
+        for v in found
+        if not _inline_ignored(v, lines_by_rel.get(v.path, []))
+    ]

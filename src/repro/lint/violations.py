@@ -12,6 +12,13 @@ in three families:
   message type that crashes (or worse, is silently dropped) at runtime.
 * **T (typing)** — full annotations are the substrate the staged
   ``mypy --strict`` gate builds on.
+* **F (information flow)** — whole-program checks (over the call graph)
+  that full-state data only flows to subscription-checked audiences and
+  that reduced-resolution tiers never receive exact state.
+* **R (routing)** — whole-program checks that all traffic leaves through
+  the proxy layer and replies address the authenticated envelope source.
+* **C (config drift)** — paper constants are imported from
+  ``core/config.py``, never re-stated as literals.
 """
 
 from __future__ import annotations
@@ -200,6 +207,113 @@ _CATALOG_ENTRIES = (
         examples=(
             "flags:  def upload(self, size): ...",
             "ok:     def upload(self, size: int) -> float: ...",
+        ),
+    ),
+    RuleInfo(
+        rule="F401",
+        summary="full-state message sent without a subscription/interest gate",
+        rationale=(
+            "Watchmen's information asymmetry: IS-tier full-state updates "
+            "(StateUpdate) may only reach peers admitted by the vision-based "
+            "subscription check.  The rule finds every transmit-primitive "
+            "call whose message argument is full-state-typed and requires "
+            "the enclosing function to either consult a gate itself (any "
+            "function of core/subscriptions.py, game/interest.py, or the "
+            "ProxySchedule lookups) or be dominated by one — i.e. be "
+            "unreachable from the tree's API surface except through a "
+            "gate-calling function.  An ungated send is the maphack/ESP "
+            "information-exposure cheat in first-party form.  The call "
+            "graph cannot see dynamic dispatch or callables passed as "
+            "values; route sends through the named primitives."
+        ),
+        scope="src/repro/{core,game} (whole-program, via callgraph.py)",
+        examples=(
+            "flags:  self._send_raw(me, peer, StateUpdate(...), size)  # no gate",
+            "ok:     for s in table.interest_subscribers(frame): self._transmit(update, s)",
+        ),
+    ),
+    RuleInfo(
+        rule="F402",
+        summary="reduced-resolution message built from unreduced exact state",
+        rationale=(
+            "VS and Others tiers get dead-reckoned guidance and 1 Hz "
+            "position-only snapshots precisely so low-trust peers never "
+            "hold exact position/velocity of players outside their IS.  A "
+            "PositionUpdate.snapshot or GuidanceMessage.prediction built "
+            "from a raw snapshot (instead of position_only()/"
+            "predict_linear()/simulate_guidance() or a helper that "
+            "transitively applies one) leaks exact state to the very tier "
+            "the reduction exists to protect against."
+        ),
+        scope="src/repro/{core,game} (whole-program, via callgraph.py)",
+        examples=(
+            "flags:  PositionUpdate(..., snapshot=snapshot)",
+            "ok:     PositionUpdate(..., snapshot=snapshot.position_only())",
+            "ok:     GuidanceMessage(..., prediction=self._guidance_prediction(f, s))",
+        ),
+    ),
+    RuleInfo(
+        rule="R501",
+        summary="transport send that does not traverse the proxy layer",
+        rationale=(
+            "Section III-B: all of a player's traffic flows through its "
+            "proxies — that is what hides network identities and gives "
+            "verification its vantage point.  The rule flags any "
+            "4-argument (src, dst, payload, size) send-shaped call from "
+            "core/node.py or game/* unless it is the sanctioned egress "
+            "point (WatchmenNode._transmit_unfiltered) or the enclosing "
+            "function has a call edge into core/proxy.py.  Everything "
+            "else must go through WatchmenNode._transmit, which signs, "
+            "applies the behaviour filter, and routes via the proxy "
+            "schedule."
+        ),
+        scope="core/node.py + src/repro/game (whole-program)",
+        examples=(
+            "flags:  self._send_raw(self.player_id, peer, msg, size)  # in a handler",
+            "ok:     self._transmit(message, destination)",
+        ),
+    ),
+    RuleInfo(
+        rule="R502",
+        summary="handler replies to a payload sender id, not the envelope",
+        rationale=(
+            "The dispatcher hands every handler the authenticated envelope "
+            "source (the transport-stamped src whose signature was just "
+            "verified) alongside the payload.  message.sender_id inside "
+            "the payload is attacker-controlled — the paper defeats "
+            "spoofing exactly because a forged sender_id fails signature "
+            "verification at the *receiver*; replying to the payload field "
+            "instead lets a spoofer redirect protocol traffic (subscription "
+            "confirms, handoffs) to a victim.  Reply to the src parameter."
+        ),
+        scope="dispatch handlers (_on_*/_handle_*/_dispatch_message/on_message)",
+        examples=(
+            "flags:  self._transmit(reply, message.sender_id)",
+            "ok:     self._transmit(reply, src)",
+        ),
+    ),
+    RuleInfo(
+        rule="C601",
+        summary="numeric literal duplicating a paper constant from core/config.py",
+        rationale=(
+            "core/config.py is the single source of the paper's magic "
+            "numbers (50 ms frame, IS size 5, 40-frame proxy period, ±60° "
+            "vision cone, 1 Hz tiers).  A re-stated literal keeps working "
+            "until an experiment overrides the config and the copy "
+            "silently diverges — the two halves of the protocol then run "
+            "different papers.  The rule matches name AND value (a "
+            "parameter default, dataclass field, or keyword argument whose "
+            "name maps to a known constant and whose literal equals it), "
+            "so same-value-different-meaning literals and deliberate "
+            "overrides are not flagged.  `repro lint --fix` rewrites "
+            "flagged literals to the imported constant and adds the "
+            "import."
+        ),
+        scope="src/repro/{core,game,net}",
+        examples=(
+            "flags:  def position_at(self, frame: int, frame_seconds: float = 0.05):",
+            "ok:     def position_at(self, frame: int, frame_seconds: float = FRAME_SECONDS):",
+            "ok:     fall_damage_per_speed: float = 0.05  # same value, different meaning",
         ),
     ),
 )

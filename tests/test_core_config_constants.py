@@ -1,0 +1,129 @@
+"""Paper constants live in core/config.py and are imported, never re-stated.
+
+Satellite of the C601 drift rule: these tests pin the convention the rule
+enforces — ``protocol.py``, ``proxy.py``, and ``interest.py`` reference the
+shared constants by name (an AST ``Name`` node in the default position, not
+a duplicated numeric literal), and the constants agree with the
+``WatchmenConfig`` defaults they parameterize.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import (
+    FRAME_SECONDS,
+    FRAMES_PER_SECOND,
+    HANDOFF_DEPTH,
+    INTEREST_SET_SIZE,
+    MAX_USEFUL_AGE_FRAMES,
+    PROXY_PERIOD_FRAMES,
+    SIGNATURE_BITS,
+    STATE_UPDATE_BITS,
+    VISION_HALF_ANGLE,
+    VISION_SLACK,
+    WatchmenConfig,
+)
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def _default_exprs(path: Path) -> dict[str, ast.expr]:
+    """name -> default/field-value expression, for every function parameter
+    default and class-level annotated field in the module."""
+    tree = ast.parse(path.read_text())
+    defaults: dict[str, ast.expr] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = node.args
+            positional = [*args.posonlyargs, *args.args]
+            for arg, default in zip(
+                positional[len(positional) - len(args.defaults):], args.defaults
+            ):
+                defaults.setdefault(arg.arg, default)
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None:
+                    defaults.setdefault(arg.arg, default)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if (
+                    isinstance(item, ast.AnnAssign)
+                    and item.value is not None
+                    and isinstance(item.target, ast.Name)
+                ):
+                    defaults.setdefault(item.target.id, item.value)
+    return defaults
+
+
+def _imports_from_config(path: Path) -> set[str]:
+    tree = ast.parse(path.read_text())
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "repro.core.config"
+        ):
+            names.update(alias.name for alias in node.names)
+    return names
+
+
+class TestConstantsAreImportedNotRestated:
+    @pytest.mark.parametrize(
+        ("rel", "param", "constant"),
+        [
+            ("core/protocol.py", "max_useful_age", "MAX_USEFUL_AGE_FRAMES"),
+            ("core/proxy.py", "proxy_period_frames", "PROXY_PERIOD_FRAMES"),
+            ("game/interest.py", "vision_half_angle", "VISION_HALF_ANGLE"),
+            ("game/interest.py", "vision_slack", "VISION_SLACK"),
+            ("game/interest.py", "interest_size", "INTEREST_SET_SIZE"),
+        ],
+    )
+    def test_default_is_a_name_reference(self, rel, param, constant):
+        path = SRC / rel
+        default = _default_exprs(path).get(param)
+        assert default is not None, f"{rel} no longer defines {param!r}"
+        assert isinstance(default, ast.Name), (
+            f"{rel}: default for {param!r} is {ast.dump(default)}; it must "
+            f"reference {constant} from core/config.py, not a literal"
+        )
+        assert default.id == constant
+        assert constant in _imports_from_config(path)
+
+
+class TestConstantsMatchConfigDefaults:
+    def test_watchmen_config_uses_the_constants(self):
+        cfg = WatchmenConfig()
+        assert cfg.frame_seconds == FRAME_SECONDS
+        assert cfg.proxy_period_frames == PROXY_PERIOD_FRAMES
+        assert cfg.handoff_depth == HANDOFF_DEPTH
+        assert cfg.signature_bits == SIGNATURE_BITS
+        assert cfg.state_update_bits == STATE_UPDATE_BITS
+        assert cfg.keyframe_interval_frames == FRAMES_PER_SECOND
+
+    def test_interest_config_uses_the_constants(self):
+        cfg = WatchmenConfig()
+        assert cfg.interest.vision_half_angle == VISION_HALF_ANGLE
+        assert cfg.interest.vision_slack == VISION_SLACK
+        assert cfg.interest.interest_size == INTEREST_SET_SIZE
+
+    def test_paper_values(self):
+        # Section IV / Table II of the paper.
+        assert FRAME_SECONDS == pytest.approx(0.05)
+        assert FRAMES_PER_SECOND == 20
+        assert PROXY_PERIOD_FRAMES == 40
+        assert INTEREST_SET_SIZE == 5
+        assert VISION_HALF_ANGLE == pytest.approx(math.radians(60.0))
+        assert VISION_SLACK == pytest.approx(math.radians(15.0))
+        assert SIGNATURE_BITS == 100
+        assert STATE_UPDATE_BITS == 700
+        assert MAX_USEFUL_AGE_FRAMES == 3
+
+    def test_frame_rate_consistency(self):
+        assert FRAMES_PER_SECOND * FRAME_SECONDS == pytest.approx(1.0)

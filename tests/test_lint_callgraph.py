@@ -1,0 +1,163 @@
+"""callgraph.py: qualified names, resolution tiers, and traversals."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.lint.callgraph import (
+    ParsedModule,
+    build_call_graph,
+    module_name_for,
+)
+
+pytestmark = pytest.mark.lint
+
+
+def graph_of(*modules: tuple[str, str]):
+    return build_call_graph(
+        [
+            ParsedModule(
+                module=name,
+                path=f"src/{name.replace('.', '/')}.py",
+                tree=ast.parse(source),
+            )
+            for name, source in modules
+        ]
+    )
+
+
+class TestModuleNames:
+    def test_plain_module(self):
+        assert module_name_for("src/repro/core/node.py") == "repro.core.node"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("src/repro/game/__init__.py") == "repro.game"
+
+    def test_outside_src_is_none(self):
+        assert module_name_for("tests/test_foo.py") is None
+
+
+class TestCollection:
+    def test_functions_and_methods_get_qualified_names(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def helper():\n    pass\n"
+                "class Node:\n"
+                "    def run(self):\n        pass\n",
+            )
+        )
+        assert "repro.demo.helper" in graph.functions
+        assert "repro.demo.Node.run" in graph.functions
+        info = graph.functions["repro.demo.Node.run"]
+        assert info.class_name == "Node"
+        assert info.name == "run"
+
+
+class TestResolution:
+    def test_local_call_is_exact(self):
+        graph = graph_of(
+            ("repro.demo", "def a():\n    b()\ndef b():\n    pass\n")
+        )
+        assert graph.callees("repro.demo.a") == {"repro.demo.b"}
+        assert graph.exact_callees("repro.demo.a") == {"repro.demo.b"}
+
+    def test_imported_function_resolves_across_modules(self):
+        graph = graph_of(
+            ("repro.util", "def shared():\n    pass\n"),
+            (
+                "repro.demo",
+                "from repro.util import shared\ndef a():\n    shared()\n",
+            ),
+        )
+        assert "repro.util.shared" in graph.exact_callees("repro.demo.a")
+
+    def test_self_method_resolves_to_enclosing_class(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "class Node:\n"
+                "    def outer(self):\n        self.inner()\n"
+                "    def inner(self):\n        pass\n",
+            )
+        )
+        assert graph.exact_callees("repro.demo.Node.outer") == {
+            "repro.demo.Node.inner"
+        }
+
+    def test_unknown_receiver_falls_back_by_name(self):
+        graph = graph_of(
+            (
+                "repro.table",
+                "class Table:\n"
+                "    def lookup(self):\n        pass\n",
+            ),
+            ("repro.demo", "def a(t):\n    t.lookup()\n"),
+        )
+        # by-name guess appears in callees() but never in exact_callees()
+        assert "repro.table.Table.lookup" in graph.callees("repro.demo.a")
+        assert "repro.table.Table.lookup" not in graph.exact_callees(
+            "repro.demo.a"
+        )
+
+    def test_callers_is_the_reverse_of_callees(self):
+        graph = graph_of(
+            ("repro.demo", "def a():\n    b()\ndef b():\n    pass\n")
+        )
+        assert graph.callers("repro.demo.b") == {"repro.demo.a"}
+
+
+class TestTraversals:
+    SOURCE = (
+        "def root():\n    mid()\n"
+        "def mid():\n    leaf()\n"
+        "def leaf():\n    pass\n"
+        "def lonely():\n    pass\n"
+    )
+
+    def test_roots_are_uncalled_functions(self):
+        graph = graph_of(("repro.demo", self.SOURCE))
+        assert graph.roots() == {"repro.demo.root", "repro.demo.lonely"}
+
+    def test_transitive_reachability(self):
+        graph = graph_of(("repro.demo", self.SOURCE))
+        assert graph.transitively_reaches(
+            "repro.demo.root", frozenset({"repro.demo.leaf"})
+        )
+        assert not graph.transitively_reaches(
+            "repro.demo.lonely", frozenset({"repro.demo.leaf"})
+        )
+
+    def test_reachable_avoiding_blocks_paths(self):
+        graph = graph_of(("repro.demo", self.SOURCE))
+        reachable = graph.reachable_avoiding(
+            graph.roots(), blocked=frozenset({"repro.demo.mid"})
+        )
+        # leaf is only reachable through mid -> dominated by the block
+        assert "repro.demo.leaf" not in reachable
+        assert "repro.demo.root" in reachable
+
+
+class TestRealTree:
+    def test_real_node_transmit_chain(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        modules = []
+        for file in sorted((root / "src" / "repro").rglob("*.py")):
+            rel = file.relative_to(root).as_posix()
+            name = module_name_for(rel)
+            if name is None:
+                continue
+            modules.append(
+                ParsedModule(
+                    module=name, path=rel, tree=ast.parse(file.read_text())
+                )
+            )
+        graph = build_call_graph(modules)
+        transmit = "repro.core.node.WatchmenNode._transmit"
+        unfiltered = "repro.core.node.WatchmenNode._transmit_unfiltered"
+        assert transmit in graph.functions
+        assert unfiltered in graph.exact_callees(transmit)

@@ -36,6 +36,8 @@ def roll():
     return random.random()
 '''
 
+pytestmark = pytest.mark.lint
+
 
 def make_repo(root: Path, dirty: bool = False) -> Path:
     """A tiny lintable repo: one module under src/repro/game."""
@@ -174,6 +176,120 @@ class TestJsonArtifact:
         ] + metrics["violations.T"]
         assert metrics["violations.D102"] == 1.0
         assert metrics["files.scanned"] >= 1.0
+        # Whole-program families report even when zero, plus wall time.
+        for family in ("C", "F", "R"):
+            assert metrics[f"violations.{family}"] == 0.0
+        assert metrics["wall_seconds"] > 0.0
+
+    def test_json_to_stdout(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload, _, summary = out.rpartition("\nrepro lint:")
+        data = json.loads(payload)
+        assert data["schema"] == "repro.bench.v1"
+
+
+class TestDeduplication:
+    def test_directory_plus_explicit_path_reports_once(self, tmp_path, capsys):
+        # Satellite: the same file via the default dir scan AND an explicit
+        # argument must yield each violation exactly once.
+        root = make_repo(tmp_path, dirty=True)
+        dice = root / "src" / "repro" / "game" / "dice.py"
+        assert lint_main(["--root", str(tmp_path), str(dice)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("D102") == 2  # finding line + summary tally, not 2 findings
+        assert out.count("dice.py:3") == 1
+
+    def test_odd_path_spelling_still_dedupes(self, tmp_path, capsys):
+        root = make_repo(tmp_path, dirty=True)
+        odd = (
+            root / "src" / "repro" / "game" / ".." / "game" / "dice.py"
+        )
+        assert lint_main(["--root", str(tmp_path), str(odd)]) == 1
+        out = capsys.readouterr().out
+        assert out.count("dice.py:3") == 1
+
+    def test_file_listed_twice_dedupes(self, tmp_path, capsys):
+        root = make_repo(tmp_path, dirty=True)
+        dice = root / "src" / "repro" / "game" / "dice.py"
+        assert lint_main(["--root", str(tmp_path), str(dice), str(dice)]) == 1
+        assert capsys.readouterr().out.count("dice.py:3") == 1
+
+
+class TestGithubFormat:
+    def test_github_annotations_on_findings(self, tmp_path, capsys):
+        make_repo(tmp_path, dirty=True)
+        assert lint_main(["--root", str(tmp_path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/repro/game/dice.py,line=3::D102" in out
+
+    def test_github_format_clean_tree(self, tmp_path, capsys):
+        make_repo(tmp_path)
+        assert lint_main(["--root", str(tmp_path), "--format", "github"]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+class TestRatchet:
+    def _write(self, path: Path, suppressions: list[dict]) -> Path:
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.lint-baseline.v1",
+                    "suppressions": suppressions,
+                }
+            )
+        )
+        return path
+
+    ENTRY = {
+        "rule": "D102",
+        "path": "src/repro/game/dice.py",
+        "context": "import random",
+        "count": 1,
+    }
+
+    def test_identical_baselines_pass(self, tmp_path):
+        from repro.lint.baseline import ratchet_regressions
+
+        old = self._write(tmp_path / "old.json", [self.ENTRY])
+        new = self._write(tmp_path / "new.json", [self.ENTRY])
+        assert ratchet_regressions(old, new) == []
+
+    def test_shrinking_passes(self, tmp_path):
+        from repro.lint.baseline import ratchet_regressions
+
+        old = self._write(tmp_path / "old.json", [self.ENTRY])
+        new = self._write(tmp_path / "new.json", [])
+        assert ratchet_regressions(old, new) == []
+
+    def test_new_fingerprint_is_a_regression(self, tmp_path):
+        from repro.lint.baseline import ratchet_regressions
+
+        old = self._write(tmp_path / "old.json", [])
+        new = self._write(tmp_path / "new.json", [self.ENTRY])
+        regressions = ratchet_regressions(old, new)
+        assert len(regressions) == 1
+        assert "D102" in regressions[0]
+
+    def test_count_increase_is_a_regression(self, tmp_path):
+        from repro.lint.baseline import ratchet_regressions
+
+        old = self._write(tmp_path / "old.json", [self.ENTRY])
+        new = self._write(tmp_path / "new.json", [{**self.ENTRY, "count": 2}])
+        assert len(ratchet_regressions(old, new)) == 1
+
+    def test_ratchet_cli_exit_codes(self, tmp_path, capsys):
+        from repro.lint.baseline import _ratchet_main
+
+        old = self._write(tmp_path / "old.json", [])
+        ok = self._write(tmp_path / "ok.json", [])
+        bad = self._write(tmp_path / "bad.json", [self.ENTRY])
+        assert _ratchet_main([str(old), str(ok)]) == 0
+        assert _ratchet_main([str(old), str(bad)]) == 1
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text("{not json")
+        assert _ratchet_main([str(old), str(malformed)]) == 2
 
 
 class TestRealRepo:

@@ -1,0 +1,214 @@
+"""C601: paper-constant drift detection and the ``--fix`` rewriter."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.lint.configdrift import (
+    CONSTANT_ALIASES,
+    apply_fixes,
+    extract_constants,
+    find_drift_sites,
+    run_configdrift_rules,
+)
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CONFIG_PATH = REPO_ROOT / "src" / "repro" / "core" / "config.py"
+
+
+def drift_violations(files: dict[str, str], config_path: Path = CONFIG_PATH):
+    trees = {rel: ast.parse(source) for rel, source in files.items()}
+    sources = {rel: source.splitlines() for rel, source in files.items()}
+    return run_configdrift_rules(trees, sources, config_path)
+
+
+class TestExtractConstants:
+    def test_real_config_exposes_paper_constants(self):
+        constants = extract_constants(CONFIG_PATH)
+        assert constants["FRAME_SECONDS"] == pytest.approx(0.05)
+        assert constants["FRAMES_PER_SECOND"] == 20
+        assert constants["PROXY_PERIOD_FRAMES"] == 40
+        assert constants["SIGNATURE_BITS"] == 100
+        # radians() calls are evaluated, not skipped
+        assert constants["VISION_HALF_ANGLE"] == pytest.approx(1.0471975512)
+
+    def test_every_alias_targets_a_real_constant(self):
+        constants = extract_constants(CONFIG_PATH)
+        missing = set(CONSTANT_ALIASES.values()) - set(constants)
+        assert missing == set()
+
+
+class TestC601Detection:
+    def test_flags_function_default(self):
+        violations = drift_violations(
+            {
+                "src/repro/game/physics.py": (
+                    "def step(state, frame_seconds=0.05):\n"
+                    "    return state\n"
+                )
+            }
+        )
+        assert [v.rule for v in violations] == ["C601"]
+        assert "FRAME_SECONDS" in violations[0].message
+
+    def test_flags_dataclass_field(self):
+        violations = drift_violations(
+            {
+                "src/repro/core/protocol.py": (
+                    "class Protocol:\n"
+                    "    proxy_period_frames: int = 40\n"
+                )
+            }
+        )
+        assert [v.rule for v in violations] == ["C601"]
+        assert "PROXY_PERIOD_FRAMES" in violations[0].message
+
+    def test_flags_keyword_argument(self):
+        violations = drift_violations(
+            {
+                "src/repro/net/session.py": (
+                    "def make():\n"
+                    "    return configure(signature_bits=100)\n"
+                )
+            }
+        )
+        assert [v.rule for v in violations] == ["C601"]
+
+    def test_unmapped_name_is_not_flagged(self):
+        # Same numeric value as FRAME_SECONDS, but the name has no alias
+        # mapping: a documented precision limit, not drift.
+        violations = drift_violations(
+            {
+                "src/repro/game/physics.py": (
+                    "class Physics:\n"
+                    "    fall_damage_per_speed: float = 0.05\n"
+                )
+            }
+        )
+        assert violations == []
+
+    def test_deliberate_override_value_is_not_flagged(self):
+        # frame_seconds=0.10 is an intentional departure from the paper
+        # constant; C601 only fires on *duplicated* values.
+        violations = drift_violations(
+            {
+                "src/repro/game/physics.py": (
+                    "def step(state, frame_seconds=0.10):\n"
+                    "    return state\n"
+                )
+            }
+        )
+        assert violations == []
+
+    def test_config_module_itself_is_exempt(self):
+        violations = drift_violations(
+            {
+                "src/repro/core/config.py": (
+                    "def helper(frame_seconds=0.05):\n"
+                    "    return frame_seconds\n"
+                )
+            }
+        )
+        assert violations == []
+
+    def test_out_of_scope_package_is_ignored(self):
+        violations = drift_violations(
+            {
+                "src/repro/obs/metrics.py": (
+                    "def sample(frame_seconds=0.05):\n"
+                    "    return frame_seconds\n"
+                )
+            }
+        )
+        assert violations == []
+
+    def test_real_tree_has_zero_drift(self):
+        files = {}
+        sources = {}
+        for file in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            rel = file.relative_to(REPO_ROOT).as_posix()
+            text = file.read_text()
+            files[rel] = ast.parse(text)
+            sources[rel] = text.splitlines()
+        assert run_configdrift_rules(files, sources, CONFIG_PATH) == []
+
+
+class TestFixer:
+    DIRTY = (
+        '"""Module docstring."""\n'
+        "\n"
+        "import math\n"
+        "\n"
+        "\n"
+        "def step(state, frame_seconds=0.05, horizon_frames=20):\n"
+        "    return state\n"
+    )
+
+    def _fix(self, source: str, rel: str = "src/repro/game/demo.py") -> str:
+        constants = extract_constants(CONFIG_PATH)
+        sites = find_drift_sites({rel: ast.parse(source)}, constants)
+        assert sites, "fixture should contain drift"
+        return apply_fixes(sites, {rel: source})[rel]
+
+    def test_fix_rewrites_literals_and_adds_import(self):
+        fixed = self._fix(self.DIRTY)
+        assert "frame_seconds=FRAME_SECONDS" in fixed
+        assert "horizon_frames=FRAMES_PER_SECOND" in fixed
+        assert "0.05" not in fixed
+        assert (
+            "from repro.core.config import FRAMES_PER_SECOND, FRAME_SECONDS"
+            in fixed
+            or "from repro.core.config import FRAME_SECONDS, FRAMES_PER_SECOND"
+            in fixed
+        )
+
+    def test_fixed_source_is_drift_free(self):
+        fixed = self._fix(self.DIRTY)
+        constants = extract_constants(CONFIG_PATH)
+        assert (
+            find_drift_sites(
+                {"src/repro/game/demo.py": ast.parse(fixed)}, constants
+            )
+            == []
+        )
+
+    def test_fix_merges_into_existing_config_import(self):
+        source = (
+            "from repro.core.config import HANDOFF_DEPTH\n"
+            "\n"
+            "def step(state, frame_seconds=0.05):\n"
+            "    return state\n"
+        )
+        fixed = self._fix(source)
+        assert fixed.count("from repro.core.config import") == 1
+        assert "FRAME_SECONDS" in fixed
+        assert "HANDOFF_DEPTH" in fixed
+
+    def test_cli_fix_roundtrip(self, tmp_path, capsys):
+        from repro.lint.cli import main as lint_main
+
+        import shutil
+
+        root = tmp_path / "repo"
+        (root / "src").mkdir(parents=True)
+        shutil.copytree(REPO_ROOT / "src" / "repro", root / "src" / "repro")
+        dirty = root / "src" / "repro" / "game" / "drifted.py"
+        dirty.write_text(
+            '"""Drift fixture."""\n'
+            "\n"
+            "\n"
+            "def step(state: int, frame_seconds: float = 0.05) -> int:\n"
+            "    return state\n"
+        )
+
+        assert lint_main(["--root", str(root)]) == 1  # drift detected
+        capsys.readouterr()
+        assert lint_main(["--root", str(root), "--fix"]) == 0
+        capsys.readouterr()
+        assert "FRAME_SECONDS" in dirty.read_text()
+        assert lint_main(["--root", str(root)]) == 0  # clean after fix

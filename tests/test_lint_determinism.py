@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import ast
 
+import pytest
+
 from repro.lint.determinism import (
     check_float_equality,
     check_module_random,
     check_wall_clock,
     run_determinism_rules,
 )
+
+pytestmark = pytest.mark.lint
 
 PATH = "src/repro/core/example.py"
 

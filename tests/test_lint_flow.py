@@ -1,0 +1,239 @@
+"""F401/F402: information-flow rules, must-flag and must-pass fixtures."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.lint.callgraph import ParsedModule, build_call_graph
+from repro.lint.flow import run_flow_rules
+
+pytestmark = pytest.mark.lint
+
+
+def flow_violations(*modules: tuple[str, str]):
+    parsed = [
+        ParsedModule(
+            module=name,
+            path=f"src/{name.replace('.', '/')}.py",
+            tree=ast.parse(source),
+        )
+        for name, source in modules
+    ]
+    sources = {
+        p.path: source.splitlines()
+        for p, (_, source) in zip(parsed, modules)
+    }
+    return run_flow_rules(build_call_graph(parsed), sources)
+
+
+GATES = (
+    "repro.core.subscriptions",
+    "class SubscriberTable:\n"
+    "    def interest_subscribers(self, frame):\n        return []\n",
+)
+
+
+class TestF401:
+    def test_flags_ungated_full_state_send(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "from repro.core.messages import StateUpdate\n"
+                "class Node:\n"
+                "    def leak(self, peer):\n"
+                "        update = StateUpdate()\n"
+                "        self._transmit(update, peer)\n",
+            ),
+        )
+        assert [v.rule for v in violations] == ["F401"]
+        assert "subscription" in violations[0].message
+
+    def test_flags_inline_constructor_send(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "from repro.core.messages import StateUpdate\n"
+                "class Node:\n"
+                "    def leak(self, peer):\n"
+                "        self._send_raw(0, peer, StateUpdate(), 1)\n",
+            ),
+        )
+        assert [v.rule for v in violations] == ["F401"]
+
+    def test_flags_annotated_parameter_send(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "class Node:\n"
+                "    def forward(self, update: StateUpdate, peer: int):\n"
+                "        self._transmit(update, peer)\n",
+            ),
+        )
+        assert [v.rule for v in violations] == ["F401"]
+
+    def test_passes_when_function_consults_a_gate(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "from repro.core.messages import StateUpdate\n"
+                "class Node:\n"
+                "    def fan_out(self, table, frame):\n"
+                "        update = StateUpdate()\n"
+                "        for s in table.interest_subscribers(frame):\n"
+                "            self._transmit(update, s)\n",
+            ),
+        )
+        assert violations == []
+
+    def test_passes_when_dominated_by_a_gated_caller(self):
+        # send() itself has no gate, but its only caller checks one first.
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "from repro.core.messages import StateUpdate\n"
+                "class Node:\n"
+                "    def gated_entry(self, table, frame, update: StateUpdate):\n"
+                "        for s in table.interest_subscribers(frame):\n"
+                "            self.fan(update, s)\n"
+                "    def fan(self, update: StateUpdate, peer):\n"
+                "        self._transmit(update, peer)\n",
+            ),
+        )
+        assert violations == []
+
+    def test_non_full_state_messages_are_ignored(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.core.node",
+                "class Node:\n"
+                "    def ping(self, message, peer):\n"
+                "        self._transmit(message, peer)\n",
+            ),
+        )
+        assert violations == []
+
+    def test_cheats_package_is_out_of_scope(self):
+        violations = flow_violations(
+            GATES,
+            (
+                "repro.cheats.state",
+                "from repro.core.messages import StateUpdate\n"
+                "class Cheat:\n"
+                "    def leak(self, peer):\n"
+                "        self._transmit(StateUpdate(), peer)\n",
+            ),
+        )
+        assert violations == []
+
+
+class TestF402:
+    def test_flags_raw_snapshot_in_position_update(self):
+        violations = flow_violations(
+            (
+                "repro.core.node",
+                "from repro.core.messages import PositionUpdate\n"
+                "class Node:\n"
+                "    def publish(self, snapshot):\n"
+                "        return PositionUpdate(snapshot=snapshot)\n",
+            ),
+        )
+        assert [v.rule for v in violations] == ["F402"]
+        assert "PositionUpdate.snapshot" in violations[0].message
+
+    def test_passes_with_reduction_helper_call(self):
+        violations = flow_violations(
+            (
+                "repro.core.node",
+                "from repro.core.messages import PositionUpdate\n"
+                "class Node:\n"
+                "    def publish(self, snapshot):\n"
+                "        return PositionUpdate(snapshot=snapshot.position_only())\n",
+            ),
+        )
+        assert violations == []
+
+    def test_passes_via_transitive_helper(self):
+        # _predict -> predict_linear, mirroring WatchmenNode._guidance_prediction
+        violations = flow_violations(
+            (
+                "repro.game.deadreckoning",
+                "def predict_linear(snapshot, horizon):\n    return snapshot\n",
+            ),
+            (
+                "repro.core.node",
+                "from repro.core.messages import GuidanceMessage\n"
+                "from repro.game.deadreckoning import predict_linear\n"
+                "class Node:\n"
+                "    def _predict(self, snapshot):\n"
+                "        return predict_linear(snapshot, 20)\n"
+                "    def publish(self, snapshot):\n"
+                "        return GuidanceMessage(prediction=self._predict(snapshot))\n",
+            ),
+        )
+        assert violations == []
+
+    def test_flags_guidance_prediction_from_raw_value(self):
+        violations = flow_violations(
+            (
+                "repro.core.node",
+                "from repro.core.messages import GuidanceMessage\n"
+                "class Node:\n"
+                "    def publish(self, snapshot):\n"
+                "        return GuidanceMessage(prediction=snapshot)\n",
+            ),
+        )
+        assert [v.rule for v in violations] == ["F402"]
+
+    def test_reduced_variable_is_tracked(self):
+        violations = flow_violations(
+            (
+                "repro.core.node",
+                "from repro.core.messages import PositionUpdate\n"
+                "class Node:\n"
+                "    def publish(self, snapshot):\n"
+                "        reduced = snapshot.position_only()\n"
+                "        return PositionUpdate(snapshot=reduced)\n",
+            ),
+        )
+        assert violations == []
+
+    def test_wire_codec_is_out_of_scope(self):
+        violations = flow_violations(
+            (
+                "repro.core.wire",
+                "from repro.core.messages import PositionUpdate\n"
+                "def decode(payload):\n"
+                "    return PositionUpdate(snapshot=payload)\n",
+            ),
+        )
+        assert violations == []
+
+
+class TestRealTreeIsClean:
+    def test_no_flow_violations_in_repo(self):
+        import pathlib
+
+        from repro.lint.callgraph import module_name_for
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        parsed = []
+        sources = {}
+        for file in sorted((root / "src" / "repro").rglob("*.py")):
+            rel = file.relative_to(root).as_posix()
+            name = module_name_for(rel)
+            if name is None:
+                continue
+            text = file.read_text()
+            parsed.append(
+                ParsedModule(module=name, path=rel, tree=ast.parse(text))
+            )
+            sources[rel] = text.splitlines()
+        assert run_flow_rules(build_call_graph(parsed), sources) == []

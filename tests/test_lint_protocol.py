@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
 from repro.lint.protocol import ProtocolSources, run_protocol_rules
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -65,6 +67,8 @@ class Node:
         elif isinstance(message, Farewell):
             pass
 '''
+
+pytestmark = pytest.mark.lint
 
 WIRE_TEMPLATE = '''\
 from __future__ import annotations

@@ -4,7 +4,11 @@ from __future__ import annotations
 
 import ast
 
+import pytest
+
 from repro.lint.typing_rules import check_annotations
+
+pytestmark = pytest.mark.lint
 
 PATH = "src/repro/game/example.py"
 
