@@ -4,13 +4,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fast lint lint-fix precheck bench
+.PHONY: test fast lint lint-fix precheck bench chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 fast:
-	$(PYTHON) -m pytest -x -q -m "not slow"
+	$(PYTHON) -m pytest -x -q -m "not slow and not chaos"
 
 lint:
 	$(PYTHON) -m repro lint --json -
@@ -19,11 +19,20 @@ lint-fix:
 	$(PYTHON) -m repro lint --fix
 
 # The pre-push check: full static analysis (all rule families, JSON report
-# to stdout) followed by the analyzer's own test suite.
+# to stdout), the analyzer's own test suite, then the chaos matrix at the
+# CI job's parameters — the recovery-SLO gate (docs/ROBUSTNESS.md).
 precheck:
-	$(PYTHON) -m repro lint --json - && $(PYTHON) -m pytest -m lint -q
+	$(PYTHON) -m repro lint --json - && $(PYTHON) -m pytest -m lint -q \
+		&& $(PYTHON) -m repro chaos --players 12 --frames 240 --seed 7
 
 bench:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) -m pytest \
 		benchmarks/bench_scalability.py benchmarks/bench_crypto.py \
 		-q --benchmark-disable
+
+# The fault-injection matrix with its SLO gates plus the bench-diff
+# regression gate against the committed chaos baseline rows.
+chaos:
+	$(PYTHON) -m repro chaos --players 12 --frames 240 --seed 7 \
+		--out chaos.json \
+		&& $(PYTHON) -m repro bench-diff benchmarks/baseline.json chaos.json

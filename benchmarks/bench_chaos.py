@@ -1,0 +1,84 @@
+"""Chaos matrix (robustness): recovery SLOs under injected faults.
+
+Replays the same deterministic trace through the protocol with one fault
+class per scenario — crash-stop, proxy kill, partition + heal, bursty
+loss, flaky links — and gates on the recovery metrics the chaos harness
+distils (see ``docs/ROBUSTNESS.md``):
+
+- no scenario may falsely evict a live player (hard SLO: zero);
+- failover-enabled crash scenarios must re-proxy within one proxy period;
+- the failover-disabled contrast scenario must show the black hole the
+  failover layer exists to bound.
+
+The run is pinned to the CI chaos job's parameters (12 players, 240
+frames, seed 7) regardless of ``REPRO_BENCH_SMOKE``, so the published
+rows always line up with the chaos rows in ``benchmarks/baseline.json``.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.config import PROXY_PERIOD_FRAMES
+from repro.faults.chaos import run_chaos
+
+from conftest import publish
+
+pytestmark = pytest.mark.chaos
+
+#: Must match the CI chaos job and the chaos rows in baseline.json.
+CHAOS_PARAMS = {"players": 12, "frames": 240, "seed": 7}
+
+
+def test_chaos_matrix(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_chaos(**CHAOS_PARAMS), rounds=1, iterations=1
+    )
+
+    body = render_table(
+        ["scenario", "evict", "reproxy", "stale.dur", "stale.peak",
+         "stale.aft", "lost"],
+        [
+            [
+                result["scenario"],
+                f"{result['metrics']['false_evictions']:.0f}",
+                f"{result['metrics']['frames_to_reproxy']:.0f}",
+                f"{result['metrics']['stale_frac_during']:.3f}",
+                f"{result['metrics']['stale_frac_peak']:.3f}",
+                f"{result['metrics']['stale_frac_after']:.3f}",
+                f"{result['metrics']['messages_lost']:.0f}",
+            ]
+            for result in results
+        ],
+    )
+    body += (
+        "\n(evict must be 0 everywhere; reproxy must stay within one proxy "
+        f"period ({PROXY_PERIOD_FRAMES} frames) wherever failover is on)\n"
+    )
+    publish(
+        results_dir,
+        "chaos_matrix",
+        "Chaos — recovery SLOs under injected faults",
+        body,
+        params=CHAOS_PARAMS,
+    )
+    for result in results:
+        publish(
+            results_dir,
+            f"chaos_{result['scenario']}",
+            f"Chaos — {result['summary']}",
+            "(metrics in the JSON artifact; summary in chaos_matrix.txt)",
+            params=result["params"],
+            metrics=result["metrics"],
+        )
+
+    by_name = {result["scenario"]: result["metrics"] for result in results}
+    for name, metrics in by_name.items():
+        assert metrics["false_evictions"] == 0, name
+    for name in ("crash_10pct", "proxy_kill_midepoch"):
+        assert 0 < by_name[name]["frames_to_reproxy"] <= PROXY_PERIOD_FRAMES
+    # The contrast scenario never re-routes: its traffic black-holes until
+    # the next scheduled handoff instead of failing over within a period.
+    assert (
+        by_name["proxy_kill_no_failover"]["frames_to_reproxy"]
+        > PROXY_PERIOD_FRAMES
+    )

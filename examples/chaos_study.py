@@ -1,0 +1,72 @@
+"""Chaos study: what breaks under faults, and what the protocol buys back.
+
+Replays one deterministic deathmatch through the fault-injection matrix
+(`repro.faults`) and narrates the recovery metrics — the headline
+contrast is the same mid-epoch proxy kill run with and without the
+failover layer: identical fault, bounded recovery vs a black hole.
+
+Run:  python examples/chaos_study.py
+"""
+
+from repro.core.config import PROXY_PERIOD_FRAMES
+from repro.faults.chaos import run_chaos
+
+PLAYERS, FRAMES, SEED = 12, 240, 7
+
+
+def main() -> None:
+    print(
+        f"Running the chaos matrix: {PLAYERS} players, {FRAMES} frames, "
+        f"seed {SEED} (deterministic: rerunning reproduces every number)...\n"
+    )
+    results = run_chaos(players=PLAYERS, frames=FRAMES, seed=SEED)
+    by_name = {r["scenario"]: r for r in results}
+
+    header = (
+        f"{'scenario':<24}{'evicted':>8}{'reproxy':>9}"
+        f"{'stale.peak':>11}{'stale.after':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        m = result["metrics"]
+        print(
+            f"{result['scenario']:<24}"
+            f"{int(m['false_evictions']):>8}"
+            f"{int(m['frames_to_reproxy']):>9}"
+            f"{m['stale_frac_peak']:>11.3f}"
+            f"{m['stale_frac_after']:>12.3f}"
+        )
+
+    kill = by_name["proxy_kill_midepoch"]["metrics"]
+    hole = by_name["proxy_kill_no_failover"]["metrics"]
+    print(
+        f"\nThe headline contrast — the same proxy killed mid-epoch twice:\n"
+        f"  with failover:    re-proxied in {int(kill['frames_to_reproxy'])} "
+        f"frames (SLO: one proxy period = {PROXY_PERIOD_FRAMES})\n"
+        f"  without failover: {int(hole['frames_to_reproxy'])} frames — the "
+        f"clients stay black-holed until the schedule itself rotates."
+    )
+
+    partition = by_name["partition_2s_heal"]["metrics"]
+    print(
+        f"\nThe 2 s partition peaks at "
+        f"{partition['stale_frac_peak']:.0%} stale view pairs, then heals to "
+        f"{partition['stale_frac_after']:.1%} in the final period — and "
+        f"evicts nobody: removal proposals double as liveness challenges, "
+        f"so players whose heartbeats merely routed through the cut defend "
+        f"themselves with direct bursts once reachable again."
+    )
+
+    evictions = sum(int(r["metrics"]["false_evictions"]) for r in results)
+    print(
+        f"\nFalse evictions across the whole matrix: {evictions} "
+        f"(the hard SLO — faults may degrade views, but must never cost an "
+        f"honest player his seat).\n"
+        f"CI runs this same matrix with byte-identity and baseline-diff "
+        f"gates; see docs/ROBUSTNESS.md."
+    )
+
+
+if __name__ == "__main__":
+    main()

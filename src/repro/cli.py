@@ -10,13 +10,16 @@ and proxy configurations, run the evaluation studies — as a CLI:
     python -m repro metrics --players 12 --frames 120 --json -
     python -m repro bench-diff benchmarks/baseline.json BENCH_core.json
     python -m repro lint --explain D102
+    python -m repro chaos --players 16 --frames 400 --seed 7 --out chaos.json
 
 Every experiment prints the same rows/series the corresponding paper
 figure or table reports.  ``metrics`` runs a standard session with the
 observability registry enabled and prints/exports the snapshot;
 ``bench-diff`` is the CI regression gate over two bench JSON artifacts;
 ``lint`` is the determinism / protocol-conformance static analyzer
-(see :mod:`repro.lint` and ``docs/STATIC_ANALYSIS.md``).
+(see :mod:`repro.lint` and ``docs/STATIC_ANALYSIS.md``); ``chaos`` runs
+the fault-injection scenario matrix and enforces the recovery SLOs
+(see :mod:`repro.faults` and ``docs/ROBUSTNESS.md``).
 
 Exit codes: 0 success, 1 failure (e.g. a bench-diff regression or a new
 lint violation), 2 usage errors (argparse).
@@ -52,15 +55,19 @@ from repro.analysis.report import (
 )
 from repro import __version__
 from repro.core import WatchmenSession
+from repro.core.config import PROXY_PERIOD_FRAMES
+from repro.faults.chaos import run_chaos
 from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
 from repro.net.latency import LatencyMatrix, king_like, peerwise_like, uniform_lan
 from repro.net.transport import NetworkConfig
 from repro.obs import (
     MetricsRegistry,
+    bench_row,
     diff_rows,
     format_diff,
     load_bench_rows,
+    write_bench_json,
 )
 
 __all__ = ["main", "build_parser"]
@@ -160,6 +167,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="determinism / protocol-conformance / typing static analysis",
     )
     add_lint_arguments(lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection scenario matrix and enforce the "
+        "recovery SLOs; exit 1 on any violation",
+    )
+    chaos.add_argument("--players", type=int, default=16)
+    chaos.add_argument("--frames", type=int, default=400)
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the repro.bench.v1 artifact here ('-' for stdout); "
+        "output is byte-identical across runs of the same parameters",
+    )
     return parser
 
 
@@ -346,6 +368,84 @@ def cmd_bench_diff(args: argparse.Namespace) -> int:
     return 1 if regressions else 0
 
 
+#: Pinned stamp for chaos artifacts: the run is deterministic, so the
+#: artifact must be too (two identical runs emit identical bytes).
+_CHAOS_EPOCH = "1970-01-01T00:00:00+00:00"
+
+
+def chaos_gate_failures(results: list[dict]) -> list[str]:
+    """Recovery-SLO violations across a chaos matrix (empty = pass).
+
+    Hard gates (see ``docs/ROBUSTNESS.md``): no scenario may falsely
+    evict a live player, and any failover-enabled scenario that crashed
+    nodes must have re-proxied within one proxy period.
+    """
+    failures: list[str] = []
+    for result in results:
+        name = result["scenario"]
+        metrics = result["metrics"]
+        params = result["params"]
+        if metrics["false_evictions"] > 0:
+            failures.append(
+                f"{name}: {metrics['false_evictions']:.0f} live players "
+                "falsely evicted (SLO: 0)"
+            )
+        reproxy = metrics["frames_to_reproxy"]
+        if params["failover"] and reproxy > PROXY_PERIOD_FRAMES:
+            failures.append(
+                f"{name}: frames_to_reproxy {reproxy:.0f} exceeds one "
+                f"proxy period ({PROXY_PERIOD_FRAMES})"
+            )
+    return failures
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    results = run_chaos(
+        players=args.players, frames=args.frames, seed=args.seed
+    )
+    rows = [
+        bench_row(
+            bench=f"chaos_{result['scenario']}",
+            params=result["params"],
+            metrics=result["metrics"],
+            wall_seconds=0.0,  # pinned: artifact bytes must be reproducible
+            timestamp=_CHAOS_EPOCH,
+        )
+        for result in results
+    ]
+    if args.out == "-":
+        payload = {"schema": "repro.bench.v1", "generated": _CHAOS_EPOCH,
+                   "rows": rows}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.out:
+        write_bench_json(args.out, rows, generated=_CHAOS_EPOCH)
+        print(f"chaos artifact -> {args.out}")
+
+    if args.out != "-":
+        header = (
+            f"{'scenario':<24} {'evict':>5} {'reproxy':>7} "
+            f"{'stale.dur':>9} {'stale.aft':>9} {'p95.delta':>9}"
+        )
+        print(header)
+        for result in results:
+            metrics = result["metrics"]
+            print(
+                f"{result['scenario']:<24} "
+                f"{metrics['false_evictions']:>5.0f} "
+                f"{metrics['frames_to_reproxy']:>7.0f} "
+                f"{metrics['stale_frac_during']:>9.3f} "
+                f"{metrics['stale_frac_after']:>9.3f} "
+                f"{metrics['view_error_p95_delta']:>9.1f}"
+            )
+
+    failures = chaos_gate_failures(results)
+    for failure in failures:
+        print(f"SLO VIOLATION: {failure}", file=sys.stderr)
+    if not failures and args.out != "-":
+        print("all recovery SLOs met")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -355,6 +455,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "bench-diff": cmd_bench_diff,
         "lint": cmd_lint,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -39,6 +39,12 @@ __all__ = [
     "SIGNATURE_BITS",
     "STATE_UPDATE_BITS",
     "MAX_USEFUL_AGE_FRAMES",
+    "PROXY_SILENCE_THRESHOLD_FRAMES",
+    "MAX_FAILOVER_ATTEMPTS",
+    "ACK_RETRY_BASE_FRAMES",
+    "ACK_RETRY_MAX_BACKOFF_FRAMES",
+    "ACK_RETRY_MAX_ATTEMPTS",
+    "STALE_VIEW_AGE_FRAMES",
     "WatchmenConfig",
 ]
 
@@ -75,6 +81,36 @@ STATE_UPDATE_BITS: Final[int] = 700
 
 #: 150 ms tolerable latency ⇒ updates older than 3 frames count as loss.
 MAX_USEFUL_AGE_FRAMES: Final[int] = 3
+
+# -- robustness (graceful degradation under crashes / partitions) ----------
+
+#: Client-side proxy-death detection: if a proxy's own publisher heartbeat
+#: (its 1 Hz position updates double as liveness beacons, Section VI) has
+#: been silent this long, the node presumes it crashed and fails over.
+#: Must sit above one position-update interval (20 frames, so one lost
+#: heartbeat is tolerated) and below the 60-frame membership silence
+#: threshold, so failover always precedes eviction.
+PROXY_SILENCE_THRESHOLD_FRAMES: Final[int] = 30
+
+#: Bound on the failover walk along the verifiable candidate schedule
+#: (candidate 0 is the scheduled proxy itself).
+MAX_FAILOVER_ATTEMPTS: Final[int] = 3
+
+#: Reliable-delivery retry ladder for the critical low-rate messages:
+#: first retry after this many frames, doubling per attempt ...
+ACK_RETRY_BASE_FRAMES: Final[int] = 4
+
+#: ... capped at this backoff (frames) ...
+ACK_RETRY_MAX_BACKOFF_FRAMES: Final[int] = 32
+
+#: ... and abandoned after this many retransmissions.
+ACK_RETRY_MAX_ATTEMPTS: Final[int] = 4
+
+#: A remote view older than two 1 Hz heartbeat periods cannot be explained
+#: by the dissemination tiers — the publisher's path is black-holed.  The
+#: chaos harness samples this per (observer, subject) pair to measure
+#: staleness during/after an injected fault.
+STALE_VIEW_AGE_FRAMES: Final[int] = 2 * FRAMES_PER_SECOND
 
 
 def _default_interest() -> "InterestConfig":
@@ -126,6 +162,23 @@ class WatchmenConfig:
     #: Enable the high-cost action-repetition replay check at proxies
     #: (Section V-A's "more accuracy but higher costs" option).
     action_repetition: bool = False
+    # -- robustness (repro.faults; both gates default OFF so fault-free ------
+    # -- runs stay bit-identical to the ungated protocol) --------------------
+    #: Fail over to the next verifiable candidate proxy when the scheduled
+    #: one stops heartbeating (changes traffic, hence the RNG stream).
+    proxy_failover: bool = False
+    #: Ack/retry (capped exponential backoff) for the critical low-rate
+    #: messages; state updates stay fire-and-forget per the paper.
+    reliable_delivery: bool = False
+    proxy_silence_threshold_frames: int = PROXY_SILENCE_THRESHOLD_FRAMES
+    max_failover_attempts: int = MAX_FAILOVER_ATTEMPTS
+    ack_retry_base_frames: int = ACK_RETRY_BASE_FRAMES
+    ack_retry_max_backoff_frames: int = ACK_RETRY_MAX_BACKOFF_FRAMES
+    ack_retry_max_attempts: int = ACK_RETRY_MAX_ATTEMPTS
+    #: While under a removal challenge a live player heartbeats directly
+    #: to the roster (bypassing its possibly-dead proxy) at this cadence.
+    #: Always on: it costs nothing until someone is actually accused.
+    defense_interval_frames: int = 5
     # -- responsiveness accounting -------------------------------------------
     max_useful_age_frames: int = MAX_USEFUL_AGE_FRAMES  # ≥150 ms counts as loss
 
@@ -161,6 +214,18 @@ class WatchmenConfig:
             raise ValueError("handoff_depth must be non-negative")
         if self.signature_bits <= 0 or self.state_update_bits <= 0:
             raise ValueError("wire sizes must be positive")
+        if self.proxy_silence_threshold_frames <= 0:
+            raise ValueError("proxy_silence_threshold_frames must be positive")
+        if self.max_failover_attempts < 1:
+            raise ValueError("max_failover_attempts must be at least 1")
+        if self.defense_interval_frames <= 0:
+            raise ValueError("defense_interval_frames must be positive")
+        if self.ack_retry_base_frames <= 0:
+            raise ValueError("ack_retry_base_frames must be positive")
+        if self.ack_retry_max_backoff_frames < self.ack_retry_base_frames:
+            raise ValueError("ack_retry_max_backoff_frames below the base delay")
+        if self.ack_retry_max_attempts < 0:
+            raise ValueError("ack_retry_max_attempts must be non-negative")
 
     def epoch_of_frame(self, frame: int) -> int:
         """The proxy epoch a frame belongs to."""

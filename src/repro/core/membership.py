@@ -73,11 +73,31 @@ class MembershipView:
     # ---- heartbeats --------------------------------------------------------
 
     def heard_from(self, player_id: int, frame: int) -> None:
-        """Any consumed update about a player refreshes his heartbeat."""
+        """Any consumed update about a player refreshes his heartbeat.
+
+        A fresh, verified message also *rescinds* accumulated silence
+        evidence: proposals are votes that a player has left, and his own
+        live voice refutes them.  Without this, a healed partition leaves
+        quorums armed against players whose traffic merely routed through
+        the cut — the false-eviction failure the chaos suite gates on.
+        A removal already applied is never undone (roster changes stay
+        deterministic); only pending suspicion is cleared.
+        """
         if player_id in self._last_heard:
             self._last_heard[player_id] = max(
                 self._last_heard[player_id], frame
             )
+            if player_id not in self.removed:
+                self._proposals.pop(player_id, None)
+                self._own_proposals.discard(player_id)
+                self._scheduled_removals.pop(player_id, None)
+
+    def last_heard_frame(self, player_id: int) -> int | None:
+        """Latest frame any update about a player was consumed (None if
+        the player is not tracked).  Frame 0 means "never heard" — every
+        roster member starts there.  The proxy-failover layer reads this
+        to detect a crashed proxy well before the removal threshold."""
+        return self._last_heard.get(player_id)
 
     def silent_players(self, frame: int, self_id: int) -> list[int]:
         """Players this node has heard nothing about for too long."""
@@ -105,7 +125,16 @@ class MembershipView:
     def record_proposal(
         self, proposer_id: int, subject_id: int, frame: int, epoch: int
     ) -> bool:
-        """Count a (verified) proposal; True when quorum was just reached."""
+        """Count a (verified) proposal; True when quorum was just reached.
+
+        A quorum only *schedules* the removal when this node's own view
+        corroborates the silence: under heavy correlated loss (all of a
+        player's updates route through one proxy) a majority can cross
+        the silence threshold while this node still hears the subject —
+        votes alone must not evict a player the local heartbeat refutes.
+        The votes stay counted; the next proposal re-checks, and a
+        genuinely dead player keeps failing the liveness test.
+        """
         if subject_id in self.removed or subject_id in self._scheduled_removals:
             return False
         if proposer_id not in self.current_roster():
@@ -114,7 +143,11 @@ class MembershipView:
         if proposer_id in voters:
             return False
         voters.add(proposer_id)
-        if len(voters) >= self.quorum_size():
+        locally_silent = (
+            frame - self._last_heard.get(subject_id, 0)
+            > self.silence_threshold_frames
+        )
+        if len(voters) >= self.quorum_size() and locally_silent:
             self._scheduled_removals[subject_id] = (
                 epoch + self.effective_delay_epochs
             )

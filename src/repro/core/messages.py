@@ -33,7 +33,9 @@ __all__ = [
     "KillClaim",
     "HandoffSummary",
     "HandoffMessage",
+    "AckMessage",
     "GameMessage",
+    "ACKABLE_TYPES",
     "signable_bytes",
     "message_size_bits",
     "SUB_VISION",
@@ -170,6 +172,25 @@ class HandoffMessage:
     signature: Signature | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class AckMessage:
+    """Hop-by-hop receipt for a critical low-rate message.
+
+    The reliable-delivery layer (``WatchmenConfig.reliable_delivery``)
+    retransmits an ackable message with capped exponential backoff until
+    the receiving hop acks ``(acked_sender_id, acked_sequence)``.  State
+    updates stay fire-and-forget per the paper; only the messages in
+    :data:`ACKABLE_TYPES` are covered.  Acks are themselves never acked.
+    """
+
+    sender_id: int
+    frame: int
+    sequence: int
+    acked_sender_id: int
+    acked_sequence: int
+    signature: Signature | None = None
+
+
 GameMessage = Union[
     StateUpdate,
     PositionUpdate,
@@ -179,7 +200,20 @@ GameMessage = Union[
     ProjectileSpawn,
     HandoffMessage,
     RemovalProposal,
+    AckMessage,
 ]
+
+#: The critical low-rate messages covered by the ack/retry layer: losing
+#: one silently degrades the protocol (a missed subscription black-holes a
+#: view; a missed handoff strands a client; a missed removal vote stalls
+#: the quorum).  Lint rule P205 cross-checks this registry against the
+#: GameMessage union.
+ACKABLE_TYPES: tuple[type, ...] = (
+    SubscriptionRequest,
+    KillClaim,
+    RemovalProposal,
+    HandoffMessage,
+)
 
 
 def signable_bytes(message: GameMessage) -> bytes:
@@ -259,6 +293,8 @@ def message_size_bits(message: GameMessage, config: WatchmenConfig) -> int:
         body = config.subscription_bits  # comparable small claim record
     elif isinstance(message, RemovalProposal):
         body = config.subscription_bits  # tiny signed vote
+    elif isinstance(message, AckMessage):
+        body = config.subscription_bits  # tiny signed receipt
     elif isinstance(message, ProjectileSpawn):
         body = config.position_update_bits  # origin + velocity + weapon
     elif isinstance(message, HandoffMessage):

@@ -26,8 +26,10 @@ from typing import Callable, Protocol
 from repro.core.config import WatchmenConfig
 from repro.core.membership import MembershipView
 from repro.core.messages import (
+    ACKABLE_TYPES,
     SUB_INTEREST,
     SUB_VISION,
+    AckMessage,
     GameMessage,
     GuidanceMessage,
     HandoffMessage,
@@ -211,6 +213,16 @@ class _ClientState:
         return best
 
 
+@dataclass
+class _PendingSend:
+    """One critical message awaiting its hop-by-hop ack (reliable delivery)."""
+
+    message: GameMessage  # already signed; retransmissions reuse the bytes
+    destination: int
+    next_frame: int  # when the next retransmission fires
+    attempt: int = 0  # retransmissions performed so far
+
+
 class WatchmenNode:
     """One player's full protocol endpoint."""
 
@@ -289,6 +301,27 @@ class WatchmenNode:
         self._deferred_claims: list[tuple[int, KillClaim, float]] = []
         self._last_published: AvatarSnapshot | None = None
 
+        # -- robustness (both layers config-gated, default off) ------------
+        #: (destination, original sender, sequence) -> awaiting ack
+        self._pending_acks: dict[tuple[int, int, int], _PendingSend] = {}
+        #: the proxy my publications currently route to (failover tracking)
+        self._active_proxy: int | None = None
+        #: every failover performed: (frame, scheduled_proxy, replacement)
+        self.failover_events: list[tuple[int, int, int]] = []
+        #: roster members currently presumed crashed (heartbeat silence)
+        self._dead_suspects: frozenset[int] = frozenset()
+        self._ctr_failovers = obs.counter("node.proxy_failovers")
+        self._ctr_acks = obs.counter("node.acks_sent")
+        self._ctr_retries = obs.counter("node.ack_retries")
+        self._ctr_retry_exhausted = obs.counter("node.ack_retry_exhausted")
+
+        # -- liveness self-defense (always on; silent until challenged) ----
+        #: last frame a removal proposal named *this* node; defense bursts
+        #: continue for a removal-delay window past it
+        self._defense_until_frame: int = -1
+        self._last_defense_frame: int = -(10**9)
+        self._ctr_defenses = obs.counter("node.liveness_defenses")
+
     # ------------------------------------------------------------------
     # Frame driving (called by the session)
     # ------------------------------------------------------------------
@@ -317,14 +350,19 @@ class WatchmenNode:
         if frame % self.config.proxy_period_frames == 0:
             self._register_epoch_clients(epoch)
 
+        # -- proxy liveness / failover (config-gated; Section VI extended) ----
+        if self.config.proxy_failover and not self.is_server:
+            self._update_proxy_liveness(frame, epoch)
+
         # -- publisher duties (players only) -----------------------------------
         if own_snapshot is not None and not self.is_server:
             own_snapshot = self.behaviour.mutate_snapshot(frame, own_snapshot)
             self.known[self.player_id] = own_snapshot
             my_proxy = self.schedule.proxy_of(self.player_id, epoch)
-            self._publish_updates(frame, own_snapshot, my_proxy)
-            self._publish_subscriptions(frame, own_snapshot, my_proxy)
-            self._publish_kill_claims(frame, my_proxy)
+            proxies = self._publish_proxies(frame, epoch, my_proxy)
+            self._publish_updates(frame, own_snapshot, proxies)
+            self._publish_subscriptions(frame, own_snapshot, proxies)
+            self._publish_kill_claims(frame, proxies)
 
         # -- deferred projectile-kill judgements -------------------------------
         due = [c for c in self._deferred_claims if c[0] <= frame]
@@ -337,11 +375,17 @@ class WatchmenNode:
 
         # -- churn detection (heartbeats; Section VI) -------------------------
         self._propose_departures(frame, epoch)
+        if not self.is_server:
+            self._drive_defense(frame)
 
         # -- proxy duties ----------------------------------------------------
         self._poll_client_silence(frame)
         for state in self._clients.values():
             state.table.expire(frame)
+
+        # -- reliable delivery: retransmit unacked critical messages ----------
+        if self.config.reliable_delivery:
+            self._drive_retries(frame)
 
         # -- behaviour extras (fabricated traffic from cheats) ---------------
         # Extras bypass filter_outgoing: they are already the behaviour's
@@ -408,11 +452,246 @@ class WatchmenNode:
         self.recency.record(self.player_id, other_id, frame)
 
     # ------------------------------------------------------------------
+    # Proxy liveness & failover (config-gated graceful degradation)
+    # ------------------------------------------------------------------
+
+    def _node_seems_dead(self, node_id: int, frame: int) -> bool:
+        """Heartbeat-based crash suspicion, well before the removal quorum.
+
+        The 1 Hz position updates double as heartbeats (Section VI); a
+        roster member silent for ``proxy_silence_threshold_frames`` is
+        presumed crashed for routing purposes only — membership eviction
+        still requires the full quorum protocol.
+        """
+        if node_id == self.player_id:
+            return False
+        if node_id in self.membership.removed:
+            return True
+        if node_id in self.membership.exempt:
+            return False
+        last = self.membership.last_heard_frame(node_id)
+        return (
+            last is not None
+            and frame - last > self.config.proxy_silence_threshold_frames
+        )
+
+    def _live_proxy_of(self, player_id: int, epoch: int, frame: int) -> int:
+        """The first failover candidate not currently presumed dead."""
+        primary = self.schedule.proxy_of(player_id, epoch)
+        if not self.config.proxy_failover:
+            return primary
+        for attempt in range(self.config.max_failover_attempts + 1):
+            candidate = self.schedule.candidate_of(player_id, epoch, attempt)
+            if not self._node_seems_dead(candidate, frame):
+                return candidate
+        return primary  # every candidate suspect: fall back to the schedule
+
+    def _publish_proxies(self, frame: int, epoch: int, scheduled: int) -> list[int]:
+        """Destinations for this frame's publications.
+
+        Normally just the scheduled proxy.  During failover the live
+        candidate comes first, with a concurrent copy to the scheduled
+        proxy — if the suspicion was spurious the real proxy keeps
+        verifying and forwarding, and if it crashed the copy merely
+        evaporates, so either way no client is stranded.
+        """
+        if not self.config.proxy_failover:
+            return [scheduled]
+        live = self._live_proxy_of(self.player_id, epoch, frame)
+        if live == scheduled:
+            return [scheduled]
+        return [live, scheduled]
+
+    def _failover_rank(self, player_id: int, epoch: int) -> int | None:
+        """My position in a player's verifiable candidate walk, or None.
+
+        0 means scheduled proxy; 1..max_failover_attempts means I am a
+        legitimate stand-in receivers may accept traffic through.  This
+        is the bounded relaxation failover buys: a route is valid iff it
+        hits one of the first ``max_failover_attempts`` candidates, all
+        of which any verifier can recompute from the shared schedule.
+        """
+        try:
+            if self.schedule.proxy_of(player_id, epoch) == self.player_id:
+                return 0
+            if not self.config.proxy_failover:
+                return None
+            for attempt in range(1, self.config.max_failover_attempts + 1):
+                if (
+                    self.schedule.candidate_of(player_id, epoch, attempt)
+                    == self.player_id
+                ):
+                    return attempt
+        except KeyError:
+            return None
+        return None
+
+    def _update_proxy_liveness(self, frame: int, epoch: int) -> None:
+        """Detect newly-dead proxies; fail over and re-subscribe."""
+        suspects = frozenset(
+            node
+            for node in self.roster
+            if node != self.player_id and self._node_seems_dead(node, frame)
+        )
+        newly_dead = suspects - self._dead_suspects
+        self._dead_suspects = suspects
+
+        scheduled = self.schedule.proxy_of(self.player_id, epoch)
+        chosen = self._live_proxy_of(self.player_id, epoch, frame)
+        if chosen != self._active_proxy:
+            previous = self._active_proxy
+            self._active_proxy = chosen
+            if chosen != scheduled and previous is not None:
+                # Genuine failover (not a routine epoch rotation): record
+                # it and push our subscriptions through the new route.
+                self.failover_events.append((frame, scheduled, chosen))
+                self._ctr_failovers.inc()
+                self._resubscribe(frame, epoch, targets=None)
+        if newly_dead and self.current_sets is not None:
+            # A *target's* proxy died: our subscription lives in its
+            # table, which the stand-in candidate does not have yet.
+            # Re-subscribe so the registration reaches the replacement.
+            affected = [
+                target
+                for target in sorted(
+                    self.current_sets.interest | self.current_sets.vision
+                )
+                if target in self.known or target in self.roster
+            ]
+            affected = [
+                target
+                for target in affected
+                if self._scheduled_proxy_in(target, epoch, newly_dead)
+            ]
+            if affected:
+                self._resubscribe(frame, epoch, targets=affected)
+
+    def _scheduled_proxy_in(
+        self, target: int, epoch: int, suspects: frozenset[int]
+    ) -> bool:
+        try:
+            return self.schedule.proxy_of(target, epoch) in suspects
+        except KeyError:
+            return False
+
+    def _resubscribe(
+        self, frame: int, epoch: int, targets: list[int] | None
+    ) -> None:
+        """Re-send current subscriptions (all, or for specific targets)."""
+        sets = self.current_sets
+        if sets is None:
+            return
+        scheduled = self.schedule.proxy_of(self.player_id, epoch)
+        proxies = self._publish_proxies(frame, epoch, scheduled)
+        for kind, members in (
+            (SUB_INTEREST, sorted(sets.interest)),
+            (SUB_VISION, sorted(sets.vision)),
+        ):
+            for target in members:
+                if targets is not None and target not in targets:
+                    continue
+                request = SubscriptionRequest(
+                    sender_id=self.player_id,
+                    target_id=target,
+                    kind=kind,
+                    frame=frame,
+                    sequence=self._next_sequence(),
+                )
+                for proxy in proxies:
+                    self._transmit(request, proxy)
+
+    # ------------------------------------------------------------------
+    # Reliable delivery (ack/retry for critical low-rate messages)
+    # ------------------------------------------------------------------
+
+    def _register_pending(self, message: GameMessage, destination: int) -> None:
+        """Start tracking an ackable send (no-op for retransmissions)."""
+        key = (destination, message.sender_id, message.sequence)
+        if key not in self._pending_acks:
+            self._pending_acks[key] = _PendingSend(
+                message=message,
+                destination=destination,
+                next_frame=self.current_frame + self.config.ack_retry_base_frames,
+            )
+
+    def _drive_retries(self, frame: int) -> None:
+        """Retransmit due unacked messages with capped exponential backoff."""
+        due = sorted(
+            key for key, p in self._pending_acks.items() if p.next_frame <= frame
+        )
+        for key in due:
+            pending = self._pending_acks.pop(key, None)
+            if pending is None:
+                continue
+            if pending.attempt >= self.config.ack_retry_max_attempts:
+                self._ctr_retry_exhausted.inc()
+                continue  # give up; the destination is gone or the path is cut
+            pending.attempt += 1
+            backoff = min(
+                self.config.ack_retry_base_frames * (2 ** pending.attempt),
+                self.config.ack_retry_max_backoff_frames,
+            )
+            pending.next_frame = frame + backoff
+            destination = self._retry_destination(
+                pending.message, pending.destination, frame
+            )
+            pending.destination = destination
+            # Re-file under the (possibly re-routed) key *before* sending,
+            # so _register_pending sees it and keeps the attempt count.
+            self._pending_acks[
+                (destination, pending.message.sender_id, pending.message.sequence)
+            ] = pending
+            self._ctr_retries.inc()
+            self._transmit_unfiltered(pending.message, destination)
+
+    def _retry_destination(
+        self, message: GameMessage, current: int, frame: int
+    ) -> int:
+        """Re-route a retry around a proxy that died since the first send."""
+        if not self.config.proxy_failover or not self._node_seems_dead(
+            current, frame
+        ):
+            return current
+        epoch = self.config.epoch_of_frame(frame)
+        try:
+            if (
+                isinstance(message, (SubscriptionRequest, KillClaim))
+                and message.sender_id == self.player_id
+            ):
+                return self._live_proxy_of(self.player_id, epoch, frame)
+            if (
+                isinstance(message, SubscriptionRequest)
+                and message.sender_id != self.player_id
+            ):
+                # Stage-2 relay: re-aim at the target's live proxy.
+                return self._live_proxy_of(message.target_id, epoch, frame)
+            if isinstance(message, HandoffMessage):
+                return self._live_proxy_of(message.player_id, epoch, frame)
+        except KeyError:
+            return current
+        return current  # direct sends (proposals, witness copies): keep
+
+    def _send_ack(self, src: int, message: GameMessage) -> None:
+        """Receipt for an ackable message, back to the sending hop."""
+        ack = AckMessage(
+            sender_id=self.player_id,
+            frame=self.current_frame,
+            sequence=self._next_sequence(),
+            acked_sender_id=message.sender_id,
+            acked_sequence=message.sequence,
+        )
+        self._ctr_acks.inc()
+        self._transmit(ack, src)
+
+    def _on_ack(self, src: int, ack: AckMessage) -> None:
+        self._pending_acks.pop((src, ack.acked_sender_id, ack.acked_sequence), None)
+
+    # ------------------------------------------------------------------
     # Publishing
     # ------------------------------------------------------------------
 
     def _publish_updates(
-        self, frame: int, snapshot: AvatarSnapshot, my_proxy: int
+        self, frame: int, snapshot: AvatarSnapshot, proxies: list[int]
     ) -> None:
         cfg = self.config
         if frame % cfg.frequent_interval_frames == 0:
@@ -432,7 +711,7 @@ class WatchmenNode:
                 delta_fields=delta,
             )
             self._last_published = snapshot
-            self._route_publication(update, my_proxy)
+            self._route_publication(update, proxies)
         if frame % cfg.guidance_interval_frames == 0:
             guidance = GuidanceMessage(
                 sender_id=self.player_id,
@@ -441,7 +720,7 @@ class WatchmenNode:
                 snapshot=snapshot,
                 prediction=self._guidance_prediction(frame, snapshot),
             )
-            self._route_publication(guidance, my_proxy)
+            self._route_publication(guidance, proxies)
         if frame % cfg.position_interval_frames == 0:
             position = PositionUpdate(
                 sender_id=self.player_id,
@@ -449,7 +728,7 @@ class WatchmenNode:
                 sequence=self._next_sequence(),
                 snapshot=snapshot.position_only(),
             )
-            self._route_publication(position, my_proxy)
+            self._route_publication(position, proxies)
 
     def _guidance_prediction(self, frame: int, snapshot: AvatarSnapshot) -> GuidancePrediction:
         """Intent-informed dead reckoning for one's own avatar.
@@ -475,22 +754,26 @@ class WatchmenNode:
                 )
         return predict_linear(snapshot, horizon)
 
-    def _route_publication(self, message: GameMessage, my_proxy: int) -> None:
+    def _route_publication(self, message: GameMessage, proxies: list[int]) -> None:
         """First hop of Figure 3: everything goes through the proxy.
 
-        With ``relax_first_hop`` (Section VI, optimization 3) updates go
-        straight to the audience, with a concurrent copy to the proxy for
-        verification.
+        ``proxies`` normally holds just the scheduled proxy; during a
+        failover it is [live candidate, scheduled proxy] (receivers dedup
+        by sequence).  With ``relax_first_hop`` (Section VI, optimization
+        3) updates go straight to the audience, with concurrent copies to
+        the proxies for verification.
         """
         if not self.config.relax_first_hop or isinstance(
             message, SubscriptionRequest
         ):
-            self._transmit(message, my_proxy)
+            for proxy in proxies:
+                self._transmit(message, proxy)
             return
         audience = self._direct_audience(message)
         for destination in audience:
             self._transmit(message, destination)
-        self._transmit(message, my_proxy)  # concurrent verification copy
+        for proxy in proxies:  # concurrent verification copy
+            self._transmit(message, proxy)
 
     def _direct_audience(self, message: GameMessage) -> list[int]:
         """Relaxed-mode audience; mirrors the proxy's forwarding rules.
@@ -509,7 +792,7 @@ class WatchmenNode:
         return oracle(self.player_id, message)
 
     def _publish_subscriptions(
-        self, frame: int, snapshot: AvatarSnapshot, my_proxy: int
+        self, frame: int, snapshot: AvatarSnapshot, proxies: list[int]
     ) -> None:
         plan = self.planner.plan(frame, snapshot, self.known)
         self.current_sets = plan
@@ -521,7 +804,8 @@ class WatchmenNode:
                 frame=frame,
                 sequence=self._next_sequence(),
             )
-            self._transmit(request, my_proxy)
+            for proxy in proxies:
+                self._transmit(request, proxy)
         for target in sorted(plan.new_vision):
             request = SubscriptionRequest(
                 sender_id=self.player_id,
@@ -530,9 +814,10 @@ class WatchmenNode:
                 frame=frame,
                 sequence=self._next_sequence(),
             )
-            self._transmit(request, my_proxy)
+            for proxy in proxies:
+                self._transmit(request, proxy)
 
-    def _publish_kill_claims(self, frame: int, my_proxy: int) -> None:
+    def _publish_kill_claims(self, frame: int, proxies: list[int]) -> None:
         for spawn in self._pending_projectiles:
             stamped = ProjectileSpawn(
                 sender_id=spawn.sender_id,
@@ -542,7 +827,8 @@ class WatchmenNode:
                 origin=spawn.origin,
                 velocity=spawn.velocity,
             )
-            self._transmit(stamped, my_proxy)
+            for proxy in proxies:
+                self._transmit(stamped, proxy)
         self._pending_projectiles.clear()
         for claim in self._pending_kills:
             stamped = KillClaim(
@@ -553,7 +839,8 @@ class WatchmenNode:
                 weapon=claim.weapon,
                 claimed_distance=claim.claimed_distance,
             )
-            self._transmit(stamped, my_proxy)
+            for proxy in proxies:
+                self._transmit(stamped, proxy)
         self._pending_kills.clear()
 
     # ------------------------------------------------------------------
@@ -564,11 +851,25 @@ class WatchmenNode:
         """End-of-tenure: ship each client's state to its next proxy."""
         for client_id in list(self._clients):
             new_proxy = self.schedule.proxy_of(client_id, new_epoch)
+            if self.config.proxy_failover:
+                # Hand off to the candidate that will actually serve the
+                # client next epoch (the scheduled one may be dead).
+                new_proxy = self._live_proxy_of(client_id, new_epoch, frame)
             if new_proxy == self.player_id:
                 continue  # re-elected; keep serving
             was_proxy = (
                 self.schedule.proxy_of(client_id, new_epoch - 1) == self.player_id
             )
+            if not was_proxy and self.config.proxy_failover:
+                # A verifiable stand-in that actually served the client
+                # during the ending epoch hands off like a real proxy.
+                state = self._clients[client_id]
+                was_proxy = state.update_count > 0 and self.schedule.verify_route(
+                    client_id,
+                    new_epoch - 1,
+                    self.player_id,
+                    self.config.max_failover_attempts,
+                )
             if not was_proxy:
                 # Ghost entry from grace-period traffic; only the real
                 # outgoing proxy performs the handoff.
@@ -628,15 +929,30 @@ class WatchmenNode:
                 frame=frame,
                 sequence=self._next_sequence(),
             )
-            # Count our own vote, then broadcast to the current roster.
+            # Count our own vote, then broadcast to the current roster —
+            # *including* the subject: the signed accusation doubles as a
+            # liveness challenge a live player answers (and a dead one
+            # cannot), so correlated first-hop loss alone can't evict.
             self.membership.record_proposal(
                 self.player_id, subject, frame, epoch
             )
             for destination in self.membership.current_roster():
-                if destination not in (self.player_id, subject):
+                if destination != self.player_id:
                     self._transmit(proposal, destination)
 
     def _on_removal_proposal(self, message: RemovalProposal) -> None:
+        if message.subject_id == self.player_id:
+            # The roster suspects *me*.  My heartbeats all route through
+            # one proxy, so a lossy or dead first hop silences me to
+            # everyone at once; answer the challenge with direct bursts
+            # that bypass it, for a full removal-delay window (rescind on
+            # hearing clears the suspicion wherever a burst lands).
+            self._defense_until_frame = max(
+                self._defense_until_frame,
+                self.current_frame + self.config.proxy_period_frames,
+            )
+            self._defend_liveness(self.current_frame)
+            return
         epoch = self.config.epoch_of_frame(self.current_frame)
         self.membership.record_proposal(
             message.sender_id,
@@ -644,6 +960,54 @@ class WatchmenNode:
             self.current_frame,
             epoch,
         )
+
+    def _drive_defense(self, frame: int) -> None:
+        """Keep heartbeating directly while the challenge window is open."""
+        if frame <= self._defense_until_frame:
+            self._defend_liveness(frame)
+
+    def _defend_liveness(self, frame: int) -> None:
+        """One direct heartbeat burst to the whole roster, rate-limited."""
+        if frame - self._last_defense_frame < self.config.defense_interval_frames:
+            return
+        snapshot = self.known.get(self.player_id)
+        if snapshot is None or self.is_server:
+            return
+        self._last_defense_frame = frame
+        self._ctr_defenses.inc()
+        update = PositionUpdate(
+            sender_id=self.player_id,
+            frame=frame,
+            sequence=self._next_sequence(),
+            snapshot=snapshot.position_only(),
+        )
+        # Skip destinations that treat my traffic as first-hop and re-forward
+        # it (my proxies/candidates): the forwarded copy would collide with
+        # the direct one and read as a replay.  They hear my first-hop
+        # publications — which refresh their heartbeat — already.
+        forwarders = self._first_hop_acceptors(frame)
+        for destination in self.membership.current_roster():
+            if destination != self.player_id and destination not in forwarders:
+                self._transmit(update, destination)
+
+    def _first_hop_acceptors(self, frame: int) -> set[int]:
+        """Nodes that accept-and-forward my direct traffic (see
+        ``_accepts_first_hop_from``) — recomputed sender-side from the
+        same shared schedule."""
+        epoch = self.config.epoch_of_frame(frame)
+        acceptors: set[int] = set()
+        try:
+            acceptors.add(self.schedule.proxy_of(self.player_id, epoch))
+            if epoch > 0:
+                acceptors.add(self.schedule.proxy_of(self.player_id, epoch - 1))
+            if self.config.proxy_failover:
+                for attempt in range(1, self.config.max_failover_attempts + 1):
+                    acceptors.add(
+                        self.schedule.candidate_of(self.player_id, epoch, attempt)
+                    )
+        except KeyError:
+            pass
+        return acceptors
 
     def _client_state(self, client_id: int) -> _ClientState:
         state = self._clients.get(client_id)
@@ -716,9 +1080,15 @@ class WatchmenNode:
         if observe is not None:
             observe(self.current_frame, src, message)
         with self._hist_verify.time():
-            accepted = self._verify_envelope(message)
+            accepted = self._verify_envelope(src, message)
         if not accepted:
             return
+        if (
+            self.config.reliable_delivery
+            and src != self.player_id
+            and isinstance(message, ACKABLE_TYPES)
+        ):
+            self._send_ack(src, message)
         if isinstance(message, StateUpdate):
             self._on_state_update(src, message)
         elif isinstance(message, GuidanceMessage):
@@ -735,8 +1105,10 @@ class WatchmenNode:
             self._on_handoff(message)
         elif isinstance(message, RemovalProposal):
             self._on_removal_proposal(message)
+        elif isinstance(message, AckMessage):
+            self._on_ack(src, message)
 
-    def _verify_envelope(self, message: GameMessage) -> bool:
+    def _verify_envelope(self, src: int, message: GameMessage) -> bool:
         """Signature + replay screening on every received message."""
         if message.signature is None or not self.signer.verify(
             message.sender_id, signable_bytes(message), message.signature
@@ -758,6 +1130,19 @@ class WatchmenNode:
         seen = self._seen_sequences.setdefault(message.sender_id, set())
         if message.sequence in seen:
             self.metrics.count_replayed_message()
+            if self.config.reliable_delivery or self.config.proxy_failover:
+                # With the robustness layers on, duplicates are an expected
+                # artefact of dual-send failover, retransmissions and
+                # network duplication — screen them silently instead of
+                # convicting an honest sender.  The ack still goes out so a
+                # retransmitting peer stops resending a delivered message.
+                if (
+                    self.config.reliable_delivery
+                    and src != self.player_id
+                    and isinstance(message, ACKABLE_TYPES)
+                ):
+                    self._send_ack(src, message)
+                return False
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
@@ -915,6 +1300,10 @@ class WatchmenNode:
         if sender == self.player_id:
             return
         if src == sender and self._accepts_first_hop_from(sender):
+            # First-hop traffic is itself a heartbeat: the forwarding
+            # proxy must not keep silence evidence armed against a client
+            # it is actively relaying for.
+            self.membership.heard_from(sender, self.current_frame)
             state = self._client_state(sender)
             audience = self._others_audience(sender, state)
             for destination in audience:
@@ -976,9 +1365,21 @@ class WatchmenNode:
             if not self._accepts_first_hop_from(sender):
                 return
             self._verify_subscription(request)
-            target_proxy = self.schedule.proxy_of(
-                request.target_id, self.config.epoch_of_frame(self.current_frame)
-            )
+            epoch = self.config.epoch_of_frame(self.current_frame)
+            try:
+                if self.config.proxy_failover:
+                    # Relay to the candidate actually serving the target.
+                    target_proxy = self._live_proxy_of(
+                        request.target_id, epoch, self.current_frame
+                    )
+                else:
+                    target_proxy = self.schedule.proxy_of(
+                        request.target_id, epoch
+                    )
+            except KeyError:
+                # Target already evicted from the roster (the game world
+                # may lag membership); nothing to relay to.
+                return
             if target_proxy == self.player_id:
                 self._register_subscription(request)
             else:
@@ -986,7 +1387,11 @@ class WatchmenNode:
                 self.metrics.count_forwarded_message()
             return
         # Stage 2: I should be the target's proxy — record the subscriber.
-        if self._is_proxy_of(request.target_id):
+        if self.config.proxy_failover:
+            epoch = self.config.epoch_of_frame(self.current_frame)
+            if self._failover_rank(request.target_id, epoch) is not None:
+                self._register_subscription(request)
+        elif self._is_proxy_of(request.target_id):
             self._register_subscription(request)
 
     def _verify_subscription(self, request: SubscriptionRequest) -> None:
@@ -1118,8 +1523,22 @@ class WatchmenNode:
 
     def _on_handoff(self, message: HandoffMessage) -> None:
         client_id = message.player_id
-        expected_old_proxy = self.schedule.proxy_of(client_id, message.epoch)
-        if message.sender_id != expected_old_proxy:
+        try:
+            expected_old_proxy = self.schedule.proxy_of(client_id, message.epoch)
+        except KeyError:
+            # The client is no longer in my schedule (evicted while this
+            # handoff was in flight); a straggler must not crash the node.
+            return
+        legitimate = message.sender_id == expected_old_proxy
+        if not legitimate and self.config.proxy_failover:
+            # A stand-in candidate is a verifiable sender too.
+            legitimate = self.schedule.verify_route(
+                client_id,
+                message.epoch,
+                message.sender_id,
+                self.config.max_failover_attempts,
+            )
+        if not legitimate:
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
@@ -1133,7 +1552,11 @@ class WatchmenNode:
                 )
             )
             return
-        if not self._is_proxy_of(client_id):
+        if self.config.proxy_failover:
+            epoch_now = self.config.epoch_of_frame(self.current_frame)
+            if self._failover_rank(client_id, epoch_now) is None:
+                return
+        elif not self._is_proxy_of(client_id):
             return
         state = self._client_state(client_id)
         state.table.import_sets(
@@ -1165,16 +1588,22 @@ class WatchmenNode:
 
         Messages sent in the last frames of an epoch can arrive after the
         renewal; the outgoing proxy still accepts (and forwards) them
-        instead of flagging an honest sender.
+        instead of flagging an honest sender.  With failover enabled a
+        verifiable stand-in candidate also accepts first-hop traffic.
         """
         epoch = self.config.epoch_of_frame(self.current_frame)
         try:
             if self.schedule.proxy_of(player_id, epoch) == self.player_id:
                 return True
-            if epoch > 0:
-                return self.schedule.proxy_of(player_id, epoch - 1) == self.player_id
+            if (
+                epoch > 0
+                and self.schedule.proxy_of(player_id, epoch - 1) == self.player_id
+            ):
+                return True
         except KeyError:
             return False
+        if self.config.proxy_failover:
+            return self._failover_rank(player_id, epoch) is not None
         return False
 
     def _confidence_about(self, subject_id: int) -> float:
@@ -1209,6 +1638,8 @@ class WatchmenNode:
             self.on_message(self.player_id, message)
             return
         signed = self._signed(message)
+        if self.config.reliable_delivery and isinstance(signed, ACKABLE_TYPES):
+            self._register_pending(signed, destination)
         size = message_size_bytes(signed, self.config)
         self._send_raw(self.player_id, destination, signed, size)
 

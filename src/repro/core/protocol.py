@@ -26,6 +26,8 @@ from repro.core.proxy import ProxySchedule
 from repro.core.reputation import ReputationBoard
 from repro.core.verification import CheatRating
 from repro.crypto.signatures import HmacSigner
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultSchedule
 from repro.game.gamemap import GameMap, make_longest_yard
 from repro.game.avatar import AvatarSnapshot
 from repro.game.trace import GameTrace, ShotEvent
@@ -33,6 +35,7 @@ from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix, king_like
 from repro.net.transport import Datagram, DatagramNetwork, NetworkConfig
 from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.stats import nearest_rank
 
 __all__ = ["SessionReport", "WatchmenSession"]
 
@@ -48,11 +51,18 @@ class SessionReport:
     mean_upload_kbps: float = 0.0
     max_upload_kbps: float = 0.0
     messages_sent: int = 0
+    #: Every datagram that died anywhere: in flight, over budget, or NAT.
     messages_lost: int = 0
+    #: The same deaths, broken down (loss | budget | nat | partition | crashed).
+    dropped_by_cause: dict[str, int] = field(default_factory=dict)
     ratings: list[CheatRating] = field(default_factory=list)
     banned: set[int] = field(default_factory=set)
     server_upload_kbps: dict[int, float] = field(default_factory=dict)
     view_errors: list[float] = field(default_factory=list)
+    #: node -> frame it crash-stopped (fault injection), if any
+    crashed: dict[int, int] = field(default_factory=dict)
+    #: total proxy failovers performed across all nodes
+    proxy_failovers: int = 0
 
     def view_error_stats(self) -> dict[str, float]:
         """Mean / median / p95 rendered-view error (game units)."""
@@ -62,7 +72,7 @@ class SessionReport:
         return {
             "mean": sum(ordered) / len(ordered),
             "median": ordered[len(ordered) // 2],
-            "p95": ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))],
+            "p95": nearest_rank(ordered, 0.95, presorted=True),
         }
 
     def age_pdf(self) -> dict[int, float]:
@@ -102,6 +112,7 @@ class WatchmenSession:
         reputation: ReputationBoard | None = None,
         signer: HmacSigner | None = None,
         departures: dict[int, int] | None = None,
+        faults: FaultSchedule | None = None,
         view_error_stride: int | None = None,
         servers: int = 0,
         server_only_proxies: bool = True,
@@ -169,6 +180,21 @@ class WatchmenSession:
                 pool_weights=pool_weights,
                 registry=self.obs,
             )
+        # Fault injection (robustness experiments): built after the proxy
+        # schedule so declarative proxy-kill faults can be resolved to
+        # concrete victims.  None (or an empty schedule) leaves the run
+        # bit-identical to a fault-free one — the injector draws from its
+        # own RNG lane and only when faults are active.
+        self.fault_injector: FaultInjector | None = None
+        if faults is not None:
+            self.fault_injector = FaultInjector(faults)
+            self.fault_injector.resolve(self.schedule, self.config)
+            self.network.attach_faults(self.fault_injector)
+        #: node -> frame it crash-stopped during this run
+        self.crashed: dict[int, int] = {}
+        #: optional per-frame hook (chaos harness samples staleness here)
+        self.on_frame_end: Callable[[int], None] | None = None
+
         self.signer = signer or HmacSigner(signature_bits=self.config.signature_bits)
         for player_id in roster + self.server_ids:
             self.signer.register(player_id)
@@ -300,6 +326,13 @@ class WatchmenSession:
             if frame == depart_frame:
                 self.network.unregister(player_id)
 
+        # Scheduled crash-stops (fault injection) behave identically to
+        # departures from the survivors' point of view.
+        if self.fault_injector is not None:
+            for node_id in self.fault_injector.begin_frame(frame):
+                self.crashed[node_id] = frame
+                self.network.unregister(node_id)
+
         # Feed game interactions first: the killer publishes a claim this
         # frame; both parties update their interaction-recency trackers.
         for shot in self._shots_by_frame.get(frame, ()):
@@ -317,12 +350,19 @@ class WatchmenSession:
             depart_frame = self.departures.get(player_id)
             if depart_frame is not None and frame >= depart_frame:
                 continue
+            if player_id in self.crashed:
+                continue
             self.nodes[player_id].on_frame(frame, snapshots[player_id])
         for server_id in self.server_ids:
+            if server_id in self.crashed:
+                continue
             self.nodes[server_id].on_frame(frame)
 
         if self.view_error_stride and frame % self.view_error_stride == 0:
             self._sample_view_error(frame, snapshots)
+
+        if self.on_frame_end is not None:
+            self.on_frame_end(frame)
 
     def _sample_view_error(
         self, frame: int, snapshots: dict[int, AvatarSnapshot]
@@ -331,10 +371,14 @@ class WatchmenSession:
         for observer_id in self.trace.player_ids():
             if observer_id in self.departures and frame >= self.departures[observer_id]:
                 continue
+            if observer_id in self.crashed:
+                continue
             node = self.nodes[observer_id]
             for subject_id, truth in snapshots.items():
                 if subject_id == observer_id or not truth.alive:
                     continue
+                if subject_id in self.crashed:
+                    continue  # the trace keeps moving him; the game lost him
                 estimate = node.estimate_of(subject_id, frame)
                 if estimate is None:
                     continue
@@ -386,7 +430,18 @@ class WatchmenSession:
             for server in self.server_ids
         }
         report.messages_sent = self.network.sent
-        report.messages_lost = self.network.lost
+        # Unified accounting: a message refused locally (budget, NAT) is
+        # as lost to the protocol as one dropped in flight.
+        report.messages_lost = (
+            self.network.lost
+            + self.network.dropped_over_budget
+            + self.network.blocked_by_nat
+        )
+        report.dropped_by_cause = dict(self.network.dropped_by_cause)
+        report.crashed = dict(self.crashed)
+        report.proxy_failovers = sum(
+            len(node.failover_events) for node in self.nodes.values()
+        )
         report.banned = self.reputation.banned()
         report.view_errors = list(self.view_errors)
         # Bandwidth gauges: the paper's headline per-node kbps, exported

@@ -80,6 +80,7 @@ class ProxySchedule:
         # assignments are memoised; the counters split real PRNG draws
         # from cache hits.
         self._assignments: dict[tuple[int, int], int] = {}
+        self._candidates: dict[tuple[int, int, int], int] = {}
         obs = registry if registry is not None else get_registry()
         self._registry = obs
         self._ctr_lookups = obs.counter("proxy.schedule.lookups")
@@ -118,6 +119,45 @@ class ProxySchedule:
     def proxy_at_frame(self, player_id: int, frame: int) -> int:
         return self.proxy_of(player_id, self.epoch_of_frame(frame))
 
+    def candidate_of(self, player_id: int, epoch: int, attempt: int) -> int:
+        """The ``attempt``-th failover candidate for a player's epoch.
+
+        Attempt 0 is the scheduled proxy itself; attempt k is the k-th
+        *distinct* node reached by walking forward (cyclically) from the
+        PRNG-drawn index over the same eligible pool.  Like the primary
+        assignment this is a pure function of (seed, roster, epoch,
+        attempt), so when a node fails over after its proxy crashes,
+        every other node can verify the replacement route with zero
+        communication — the failover stays inside the verifiable
+        schedule instead of becoming a free-for-all.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        if attempt == 0:
+            return self.proxy_of(player_id, epoch)
+        cached = self._candidates.get((player_id, epoch, attempt))
+        if cached is not None:
+            return cached
+        if player_id not in self._roster_set:
+            raise KeyError(f"unknown player {player_id}")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        eligible = [node for node in self.pool if node != player_id]
+        if not eligible:
+            raise ValueError("no eligible proxy for player")
+        prng = self._prngs.get(player_id)
+        if prng is None:
+            prng = VerifiablePrng(self.common_seed, player_id)
+            self._prngs[player_id] = prng
+        index = prng.below_at(epoch, len(eligible))
+        distinct: list[int] = []
+        for node in eligible[index:] + eligible[:index]:
+            if node not in distinct:
+                distinct.append(node)
+        candidate = distinct[attempt % len(distinct)]
+        self._candidates[(player_id, epoch, attempt)] = candidate
+        return candidate
+
     def clients_of(self, proxy_id: int, epoch: int) -> list[int]:
         """All players served by ``proxy_id`` during ``epoch``."""
         return [
@@ -138,6 +178,23 @@ class ProxySchedule:
         """Any node's check that a claimed assignment matches the schedule."""
         try:
             return self.proxy_of(player_id, epoch) == claimed_proxy
+        except (KeyError, ValueError):
+            return False
+
+    def verify_route(
+        self, player_id: int, epoch: int, claimed_proxy: int, max_attempts: int
+    ) -> bool:
+        """Check a claimed (possibly failed-over) proxy against the schedule.
+
+        True when ``claimed_proxy`` is the scheduled proxy or one of the
+        first ``max_attempts`` failover candidates — the bounded set any
+        honest node may legitimately route through after crashes.
+        """
+        try:
+            return any(
+                self.candidate_of(player_id, epoch, attempt) == claimed_proxy
+                for attempt in range(max_attempts + 1)
+            )
         except (KeyError, ValueError):
             return False
 

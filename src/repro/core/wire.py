@@ -23,6 +23,7 @@ from typing import Any, Union
 
 from repro.core.membership import RemovalProposal
 from repro.core.messages import (
+    AckMessage,
     GameMessage,
     GuidanceMessage,
     HandoffMessage,
@@ -63,6 +64,7 @@ MESSAGE_TYPES: dict[str, type] = {
     "ProjectileSpawn": ProjectileSpawn,
     "HandoffMessage": HandoffMessage,
     "RemovalProposal": RemovalProposal,
+    "AckMessage": AckMessage,
 }
 
 #: Payload dataclasses that appear as message fields (encoded as dicts).

@@ -1,0 +1,33 @@
+"""Declarative fault injection for robustness experiments.
+
+The paper's protocol is evaluated on a friendly network; this package
+supplies the unfriendly one.  A :class:`FaultSchedule` declares *what goes
+wrong when* (crashes, proxy kills, partitions, latency spikes, duplication)
+as plain frozen data; a :class:`FaultInjector` executes it against the
+simulated transport on a **separate seeded RNG lane**, so a run with an
+empty schedule is bit-identical to a run without the injector at all.
+
+Bursty (Gilbert–Elliott) loss is not a fault event but an alternative
+network weather model — it lives in
+:class:`repro.net.transport.NetworkConfig` (``loss_model="gilbert-elliott"``).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import (
+    CrashFault,
+    CrashProxyFault,
+    DuplicateFault,
+    FaultSchedule,
+    LatencySpikeFault,
+    PartitionFault,
+)
+
+__all__ = [
+    "CrashFault",
+    "CrashProxyFault",
+    "DuplicateFault",
+    "FaultSchedule",
+    "LatencySpikeFault",
+    "PartitionFault",
+    "FaultInjector",
+]

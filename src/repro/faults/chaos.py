@@ -1,0 +1,374 @@
+"""Chaos harness: a scenario matrix with recovery SLOs.
+
+Each scenario replays the same deterministic trace through the protocol
+with one class of fault injected, then distils *recovery* metrics — the
+questions an operator would ask after an incident:
+
+- ``false_evictions`` — how many live, honest players got evicted by the
+  membership quorum?  The hard SLO is **zero**: faults may degrade views
+  but must never cost an innocent player his seat.
+- ``frames_to_reproxy`` — after a proxy crash, how long until the slowest
+  affected publisher re-routed to a verifiable stand-in?  SLO: at most
+  one proxy period.
+- ``stale_frac_during`` / ``stale_frac_after`` — fraction of (observer,
+  subject) pairs whose rendered view is older than
+  :data:`~repro.core.config.STALE_VIEW_AGE_FRAMES` (two missed 1 Hz
+  heartbeats), averaged over the fault window and over the run's final
+  proxy period.  ``after`` should return to ~0: the damage must heal.
+- ``view_error_p95_delta`` — p95 rendered-view error minus the same
+  seed's fault-free p95 (shared nearest-rank percentile).
+
+All runs are deterministic: same (players, frames, seed) ⇒ byte-identical
+metrics, which is what lets CI gate on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.core.config import (
+    FRAMES_PER_SECOND,
+    PROXY_PERIOD_FRAMES,
+    STALE_VIEW_AGE_FRAMES,
+    WatchmenConfig,
+)
+from repro.core.protocol import SessionReport, WatchmenSession
+from repro.faults.schedule import (
+    CrashFault,
+    CrashProxyFault,
+    DuplicateFault,
+    FaultSchedule,
+    LatencySpikeFault,
+    PartitionFault,
+)
+from repro.game.simulator import generate_trace
+from repro.game.trace import GameTrace
+from repro.net.transport import NetworkConfig
+
+__all__ = [
+    "ChaosScenario",
+    "ChaosOutcome",
+    "default_scenarios",
+    "build_schedule",
+    "run_chaos",
+]
+
+#: Stride (frames) between view-error samples in chaos runs.
+VIEW_ERROR_STRIDE = 5
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One declarative entry of the scenario matrix."""
+
+    name: str
+    summary: str
+    crash_fraction: float = 0.0
+    proxy_kill: bool = False
+    partition_seconds: float = 0.0
+    burst_loss: bool = False
+    duplication_rate: float = 0.0
+    latency_spike_ms: float = 0.0
+    failover: bool = True
+    reliable: bool = True
+
+
+def default_scenarios() -> tuple[ChaosScenario, ...]:
+    """The CI matrix (ISSUE: crash, proxy kill, partition, burst loss)."""
+    return (
+        ChaosScenario(
+            "crash_10pct",
+            "crash-stop 10% of the players mid-epoch",
+            crash_fraction=0.10,
+        ),
+        ChaosScenario(
+            "proxy_kill_midepoch",
+            "kill player 0's proxy mid-epoch (and his next one)",
+            proxy_kill=True,
+        ),
+        ChaosScenario(
+            "partition_2s_heal",
+            "half/half partition for 2 s, then heal",
+            partition_seconds=2.0,
+        ),
+        ChaosScenario(
+            "burst_loss_5pct",
+            "Gilbert-Elliott bursty loss (~5% stationary)",
+            burst_loss=True,
+        ),
+        ChaosScenario(
+            "flaky_links",
+            "latency spikes plus 10% duplication",
+            duplication_rate=0.10,
+            latency_spike_ms=150.0,
+        ),
+        ChaosScenario(
+            "proxy_kill_no_failover",
+            "contrast: the same proxy kill with failover disabled",
+            proxy_kill=True,
+            failover=False,
+            reliable=False,
+        ),
+    )
+
+
+def fault_frame_for(frames: int) -> int:
+    """Mid-epoch injection point roughly a third into the run."""
+    if frames < 3 * PROXY_PERIOD_FRAMES:
+        raise ValueError("chaos runs need at least three proxy periods")
+    epoch_start = max(
+        PROXY_PERIOD_FRAMES,
+        (frames // 3) // PROXY_PERIOD_FRAMES * PROXY_PERIOD_FRAMES,
+    )
+    return epoch_start + PROXY_PERIOD_FRAMES // 2
+
+
+def build_schedule(
+    scenario: ChaosScenario, roster: list[int], frames: int, seed: int
+) -> tuple[FaultSchedule, int]:
+    """Materialise one scenario's faults for a concrete roster and length."""
+    frame = fault_frame_for(frames)
+    ordered = sorted(roster)
+    crashes: list[CrashFault] = []
+    proxy_crashes: list[CrashProxyFault] = []
+    partitions: list[PartitionFault] = []
+    spikes: list[LatencySpikeFault] = []
+    duplications: list[DuplicateFault] = []
+    if scenario.crash_fraction > 0.0:
+        count = max(1, int(len(ordered) * scenario.crash_fraction))
+        rng = Random(seed * 9973 + 17)  # victim choice; independent lane
+        crashes = [
+            CrashFault(node_id=victim, frame=frame)
+            for victim in sorted(rng.sample(ordered, count))
+        ]
+    if scenario.proxy_kill:
+        # Kill the target player's proxy for this epoch AND the next one:
+        # without failover that black-holes his traffic for up to ~1.5
+        # epochs, which is exactly the outage the failover layer bounds.
+        target = ordered[0]
+        proxy_crashes = [
+            CrashProxyFault(player_id=target, frame=frame),
+            CrashProxyFault(player_id=target, frame=frame + PROXY_PERIOD_FRAMES),
+        ]
+    if scenario.partition_seconds > 0.0:
+        window = int(scenario.partition_seconds * FRAMES_PER_SECOND)
+        half = len(ordered) // 2
+        partitions = [
+            PartitionFault(
+                group_a=frozenset(ordered[:half]),
+                group_b=frozenset(ordered[half:]),
+                start_frame=frame,
+                end_frame=frame + window,
+            )
+        ]
+    if scenario.latency_spike_ms > 0.0:
+        spikes = [
+            LatencySpikeFault(
+                src=ordered[0],
+                dst=ordered[1],
+                start_frame=frame,
+                end_frame=frame + PROXY_PERIOD_FRAMES,
+                extra_ms=scenario.latency_spike_ms,
+            )
+        ]
+    if scenario.duplication_rate > 0.0:
+        duplications = [
+            DuplicateFault(
+                rate=scenario.duplication_rate,
+                start_frame=frame,
+                end_frame=frame + 2 * PROXY_PERIOD_FRAMES,
+            )
+        ]
+    schedule = FaultSchedule(
+        crashes=tuple(crashes),
+        proxy_crashes=tuple(proxy_crashes),
+        partitions=tuple(partitions),
+        latency_spikes=tuple(spikes),
+        duplications=tuple(duplications),
+        seed=seed,
+    )
+    return schedule, frame
+
+
+class _StalenessProbe:
+    """Per-frame fraction of live view pairs staler than the heartbeat bound."""
+
+    def __init__(self, session: WatchmenSession, stale_age: int) -> None:
+        self.session = session
+        self.stale_age = stale_age
+        self.samples: list[tuple[int, float]] = []
+
+    def __call__(self, frame: int) -> None:
+        session = self.session
+        live = [
+            player
+            for player in session.trace.player_ids()
+            if player not in session.crashed
+            and not (
+                player in session.departures
+                and frame >= session.departures[player]
+            )
+        ]
+        total = 0
+        stale = 0
+        for observer in live:
+            known = session.nodes[observer].known
+            for subject in live:
+                if subject == observer:
+                    continue
+                total += 1
+                snapshot = known.get(subject)
+                if snapshot is None or frame - snapshot.frame > self.stale_age:
+                    stale += 1
+        if total:
+            self.samples.append((frame, stale / total))
+
+
+@dataclass
+class ChaosOutcome:
+    """One scenario's run artefacts (report + staleness timeline)."""
+
+    scenario: ChaosScenario
+    report: SessionReport
+    session: WatchmenSession
+    staleness: list[tuple[int, float]]
+    fault_frame: int
+
+
+def _run_once(
+    trace: GameTrace,
+    schedule: FaultSchedule | None,
+    *,
+    failover: bool,
+    reliable: bool,
+    burst_loss: bool,
+) -> tuple[SessionReport, WatchmenSession, list[tuple[int, float]]]:
+    config = WatchmenConfig(
+        proxy_failover=failover, reliable_delivery=reliable
+    )
+    if burst_loss:
+        network_config = NetworkConfig(
+            seed=trace.seed, loss_model="gilbert-elliott"
+        )
+    else:
+        network_config = NetworkConfig(seed=trace.seed)
+    session = WatchmenSession(
+        trace,
+        config=config,
+        network_config=network_config,
+        faults=schedule,
+        view_error_stride=VIEW_ERROR_STRIDE,
+    )
+    probe = _StalenessProbe(session, STALE_VIEW_AGE_FRAMES)
+    session.on_frame_end = probe
+    report = session.run()
+    return report, session, probe.samples
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def recovery_metrics(
+    outcome: ChaosOutcome, frames: int, baseline_p95: float
+) -> dict[str, float]:
+    """Distil one scenario run into the SLO metrics (all costs)."""
+    report = outcome.report
+    session = outcome.session
+    fault_frame = outcome.fault_frame
+    legitimately_gone = set(report.crashed) | set(session.departures)
+    falsely_evicted: set[int] = set()
+    for node_id, node in session.nodes.items():
+        if node_id in legitimately_gone:
+            continue
+        falsely_evicted |= set(node.membership.removed) - legitimately_gone
+
+    if report.crashed:
+        events = sorted(
+            event_frame
+            for node in session.nodes.values()
+            for (event_frame, _, _) in node.failover_events
+            if event_frame >= fault_frame
+        )
+        if events:
+            in_window = [
+                f for f in events if f < fault_frame + PROXY_PERIOD_FRAMES
+            ]
+            slowest = max(in_window) if in_window else max(events)
+            frames_to_reproxy = slowest - fault_frame
+        else:
+            frames_to_reproxy = frames - fault_frame  # never re-routed
+    else:
+        frames_to_reproxy = 0
+
+    during = [
+        sample
+        for frame, sample in outcome.staleness
+        if fault_frame <= frame < fault_frame + 2 * PROXY_PERIOD_FRAMES
+    ]
+    after = [
+        sample
+        for frame, sample in outcome.staleness
+        if frame >= frames - PROXY_PERIOD_FRAMES
+    ]
+    stats = report.view_error_stats()
+    return {
+        "false_evictions": float(len(falsely_evicted)),
+        "frames_to_reproxy": float(frames_to_reproxy),
+        "stale_frac_during": _mean(during),
+        "stale_frac_peak": max(during, default=0.0),
+        "stale_frac_after": _mean(after),
+        "view_error_p95_delta": stats.get("p95", 0.0) - baseline_p95,
+        "messages_lost": float(report.messages_lost),
+    }
+
+
+def run_chaos(
+    players: int = 16,
+    frames: int = 400,
+    seed: int = 7,
+    scenarios: tuple[ChaosScenario, ...] | None = None,
+) -> list[dict[str, object]]:
+    """Run the matrix; one result dict per scenario (bench-row shaped)."""
+    matrix = scenarios if scenarios is not None else default_scenarios()
+    trace = generate_trace(num_players=players, num_frames=frames, seed=seed)
+    baseline_report, _, _ = _run_once(
+        trace, None, failover=True, reliable=True, burst_loss=False
+    )
+    baseline_p95 = baseline_report.view_error_stats().get("p95", 0.0)
+
+    results: list[dict[str, object]] = []
+    for scenario in matrix:
+        schedule, fault_frame = build_schedule(
+            scenario, trace.player_ids(), frames, seed
+        )
+        report, session, staleness = _run_once(
+            trace,
+            schedule,
+            failover=scenario.failover,
+            reliable=scenario.reliable,
+            burst_loss=scenario.burst_loss,
+        )
+        outcome = ChaosOutcome(
+            scenario=scenario,
+            report=report,
+            session=session,
+            staleness=staleness,
+            fault_frame=fault_frame,
+        )
+        results.append(
+            {
+                "scenario": scenario.name,
+                "summary": scenario.summary,
+                "params": {
+                    "players": players,
+                    "frames": frames,
+                    "seed": seed,
+                    "failover": scenario.failover,
+                    "reliable": scenario.reliable,
+                },
+                "metrics": recovery_metrics(outcome, frames, baseline_p95),
+            }
+        )
+    return results

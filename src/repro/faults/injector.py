@@ -1,0 +1,101 @@
+"""Executes a :class:`FaultSchedule` against the simulated transport.
+
+The injector is deliberately passive plumbing: the session asks it which
+nodes crash this frame, and the network asks it whether a packet crosses a
+partition, how much extra delay a link carries, and whether to duplicate a
+delivery.  All probabilistic answers come from the injector's **own**
+seeded :class:`random.Random` — the network's RNG never sees an extra
+draw, so an empty schedule leaves every fault-free run bit-identical.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import TYPE_CHECKING
+
+from repro.faults.schedule import FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.config import WatchmenConfig
+    from repro.core.proxy import ProxySchedule
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """One run's executable fault plan (frame-driven)."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.rng = Random(schedule.seed)  # private lane; see module docstring
+        self.current_frame = 0
+        #: node -> frame it crash-stopped (filled as the run progresses)
+        self.crashed: dict[int, int] = {}
+        self._crash_frames: dict[int, list[int]] = {}
+        for crash in schedule.crashes:
+            self._crash_frames.setdefault(crash.frame, []).append(crash.node_id)
+
+    # ---- resolution -------------------------------------------------------
+
+    def resolve(self, proxy_schedule: ProxySchedule, config: WatchmenConfig) -> None:
+        """Turn declarative proxy-kill faults into concrete node crashes.
+
+        ``CrashProxyFault(player_id=p, frame=f)`` crashes whoever the
+        verifiable schedule assigns as p's proxy during f's epoch.  Called
+        once by the session, after its schedule exists.
+        """
+        for fault in self.schedule.proxy_crashes:
+            epoch = config.epoch_of_frame(fault.frame)
+            victim = proxy_schedule.proxy_of(fault.player_id, epoch)
+            self._crash_frames.setdefault(fault.frame, []).append(victim)
+
+    # ---- frame driving ----------------------------------------------------
+
+    def begin_frame(self, frame: int) -> list[int]:
+        """Advance to ``frame``; returns nodes that crash-stop now."""
+        self.current_frame = frame
+        dying = sorted(
+            {
+                node
+                for node in self._crash_frames.get(frame, ())
+                if node not in self.crashed
+            }
+        )
+        for node in dying:
+            self.crashed[node] = frame
+        return dying
+
+    # ---- network queries --------------------------------------------------
+
+    def drop_cause(self, src: int, dst: int) -> str | None:
+        """Why a packet on this link dies right now (None = it lives)."""
+        for partition in self.schedule.partitions:
+            if (
+                partition.start_frame <= self.current_frame < partition.end_frame
+                and partition.severs(src, dst)
+            ):
+                return "partition"
+        return None
+
+    def extra_delay_seconds(self, src: int, dst: int) -> float:
+        """Active latency-spike delay on this link, in seconds."""
+        total_ms = 0.0
+        for spike in self.schedule.latency_spikes:
+            if (
+                spike.start_frame <= self.current_frame < spike.end_frame
+                and spike.affects(src, dst)
+            ):
+                total_ms += spike.extra_ms
+        return total_ms / 1000.0
+
+    def duplicate_offset_seconds(self) -> float | None:
+        """Duplicate this delivery?  The copy's extra delay, or None.
+
+        Draws from the injector's private RNG only while a duplication
+        window is active, so inactive windows cost zero draws.
+        """
+        for dup in self.schedule.duplications:
+            if dup.start_frame <= self.current_frame < dup.end_frame:
+                if self.rng.random() < dup.rate:
+                    return dup.offset_ms / 1000.0
+        return None

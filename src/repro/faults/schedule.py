@@ -1,0 +1,154 @@
+"""The declarative fault vocabulary: what goes wrong, and when.
+
+Every fault is a frozen dataclass keyed by simulation frames, so a
+schedule is pure data — serialisable, comparable, and independent of the
+session it is later injected into.  Frames (not wall-clock seconds) keep
+faults aligned with protocol epochs: "kill the proxy mid-epoch" is
+``CrashProxyFault(player_id=3, frame=60)`` regardless of frame rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CrashFault",
+    "CrashProxyFault",
+    "PartitionFault",
+    "LatencySpikeFault",
+    "DuplicateFault",
+    "FaultSchedule",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CrashFault:
+    """Crash-stop: the node falls silent at ``frame`` and never returns."""
+
+    node_id: int
+    frame: int
+
+    def __post_init__(self) -> None:
+        if self.frame < 0:
+            raise ValueError("crash frame must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashProxyFault:
+    """Crash whoever is ``player_id``'s proxy at ``frame``.
+
+    The concrete victim depends on the verifiable proxy schedule, so it is
+    resolved by :meth:`repro.faults.injector.FaultInjector.resolve` once
+    the session's schedule exists — the declaration stays portable across
+    seeds and rosters.
+    """
+
+    player_id: int
+    frame: int
+
+    def __post_init__(self) -> None:
+        if self.frame < 0:
+            raise ValueError("crash frame must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionFault:
+    """Cut all links between two node groups, then heal.
+
+    Packets crossing the cut during [start_frame, end_frame) are dropped
+    with cause ``partition``; traffic inside each group is unaffected.
+    """
+
+    group_a: frozenset[int]
+    group_b: frozenset[int]
+    start_frame: int
+    end_frame: int
+
+    def __post_init__(self) -> None:
+        if self.start_frame < 0 or self.end_frame <= self.start_frame:
+            raise ValueError("partition window must be non-empty and non-negative")
+        if self.group_a & self.group_b:
+            raise ValueError("partition groups must be disjoint")
+        if not self.group_a or not self.group_b:
+            raise ValueError("partition groups must be non-empty")
+
+    def severs(self, src: int, dst: int) -> bool:
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySpikeFault:
+    """Extra one-way delay on a link (both directions when symmetric)."""
+
+    src: int
+    dst: int
+    start_frame: int
+    end_frame: int
+    extra_ms: float
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.start_frame < 0 or self.end_frame <= self.start_frame:
+            raise ValueError("spike window must be non-empty and non-negative")
+        if self.extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
+
+    def affects(self, src: int, dst: int) -> bool:
+        if (src, dst) == (self.src, self.dst):
+            return True
+        return self.symmetric and (dst, src) == (self.src, self.dst)
+
+
+@dataclass(frozen=True, slots=True)
+class DuplicateFault:
+    """Duplicate each in-flight packet with probability ``rate``.
+
+    The copy arrives ``offset_ms`` after the original — exercising the
+    receivers' sequence-based screening under benign duplication.
+    """
+
+    rate: float
+    start_frame: int
+    end_frame: int
+    offset_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("duplicate rate must be in [0, 1]")
+        if self.start_frame < 0 or self.end_frame <= self.start_frame:
+            raise ValueError("duplication window must be non-empty and non-negative")
+        if self.offset_ms < 0:
+            raise ValueError("offset_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that will go wrong in one run, as pure data.
+
+    ``seed`` feeds the injector's private RNG lane (used only for
+    probabilistic faults like duplication), kept separate from the
+    network's RNG so adding faults never perturbs fault-free draws.
+    """
+
+    crashes: tuple[CrashFault, ...] = ()
+    proxy_crashes: tuple[CrashProxyFault, ...] = ()
+    partitions: tuple[PartitionFault, ...] = ()
+    latency_spikes: tuple[LatencySpikeFault, ...] = ()
+    duplications: tuple[DuplicateFault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        crashed = [c.node_id for c in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise ValueError("a node may crash at most once")
+
+    def is_empty(self) -> bool:
+        return not (
+            self.crashes
+            or self.proxy_crashes
+            or self.partitions
+            or self.latency_spikes
+            or self.duplications
+        )

@@ -7,6 +7,12 @@ A message type is only *done* when four artifacts agree:
 3. ``core/wire.py`` registers it in ``MESSAGE_TYPES``      (P203)
 4. ``message_size_bits`` sizes it                          (P204)
 
+P205 additionally cross-checks the reliable-delivery registry: every
+name in ``ACKABLE_TYPES`` must be a union member, and ``AckMessage``
+must be in the union but never in the registry (an ack that is itself
+ackable would ack forever).  The rule is skipped entirely when the
+module declares no ``ACKABLE_TYPES``.
+
 These are whole-repo checks, not per-file scans: the engine hands this
 module the parsed ASTs of ``core/messages.py``, ``core/node.py`` and
 ``core/wire.py`` (paths are configurable so rule tests can run against
@@ -180,6 +186,33 @@ def _registry_names(wire_tree: ast.Module, registry_name: str = "MESSAGE_TYPES")
     return set()
 
 
+def _tuple_assignment(
+    tree: ast.Module, name: str
+) -> tuple[list[str], int] | None:
+    """Names in a module-level ``name = (A, B, ...)`` tuple, plus its line.
+
+    Returns None when no such assignment exists (the rule that reads it
+    must then skip — older fixture trees predate the registry).
+    """
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        assert value is not None
+        if not isinstance(value, ast.Tuple):
+            return [], node.lineno
+        return (
+            [e.id for e in value.elts if isinstance(e, ast.Name)],
+            node.lineno,
+        )
+    return None
+
+
 def run_protocol_rules(sources: ProtocolSources, src_root: Path) -> list[Violation]:
     """All P-family checks across the messages/node/wire triple."""
     messages_tree = _parse(sources.messages_path)
@@ -321,5 +354,52 @@ def run_protocol_rules(sources: ProtocolSources, src_root: Path) -> list[Violati
                         context=member,
                     )
                 )
+
+    # P205 — the reliable-delivery registry agrees with the union.
+    ackable = _tuple_assignment(messages_tree, "ACKABLE_TYPES")
+    if ackable is not None:
+        names, lineno = ackable
+        for name in names:
+            if name == "AckMessage":
+                violations.append(
+                    Violation(
+                        rule="P205",
+                        path=rel_messages,
+                        line=lineno,
+                        message=(
+                            "AckMessage must not be in ACKABLE_TYPES: "
+                            "acking an ack would loop forever"
+                        ),
+                        context="AckMessage",
+                    )
+                )
+            elif name not in members:
+                violations.append(
+                    Violation(
+                        rule="P205",
+                        path=rel_messages,
+                        line=lineno,
+                        message=(
+                            f"ACKABLE_TYPES entry `{name}` is not a "
+                            "GameMessage union member; it can never be "
+                            "dispatched, let alone acked"
+                        ),
+                        context=name,
+                    )
+                )
+        if "AckMessage" not in members:
+            violations.append(
+                Violation(
+                    rule="P205",
+                    path=rel_messages,
+                    line=lineno,
+                    message=(
+                        "module declares ACKABLE_TYPES but AckMessage is "
+                        "not in the GameMessage union; the reliability "
+                        "layer's own control message would be undeliverable"
+                    ),
+                    context="AckMessage",
+                )
+            )
 
     return violations

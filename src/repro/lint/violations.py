@@ -193,6 +193,27 @@ _CATALOG_ENTRIES = (
         ),
     ),
     RuleInfo(
+        rule="P205",
+        summary="ACKABLE_TYPES registry inconsistent with the message union",
+        rationale=(
+            "Reliable delivery acks exactly the message kinds listed in "
+            "messages.ACKABLE_TYPES.  A name there that is not a "
+            "GameMessage union member is either a typo or a type the "
+            "dispatcher will never see; AckMessage itself inside the "
+            "registry would make every ack generate another ack, an "
+            "infinite loop; and a repo that declares the registry without "
+            "putting AckMessage in the union has a reliability layer whose "
+            "control message cannot be dispatched, encoded, or sized.  The "
+            "registry is only meaningful when all three agree."
+        ),
+        scope="core/messages.py (ACKABLE_TYPES x GameMessage)",
+        examples=(
+            "flags:  ACKABLE_TYPES = (KillClaim, AckMessage)",
+            "flags:  ACKABLE_TYPES naming a class outside the GameMessage union",
+            "ok:     ACKABLE_TYPES = (SubscriptionRequest, KillClaim, ...)",
+        ),
+    ),
+    RuleInfo(
         rule="T301",
         summary="function missing parameter or return annotations",
         rationale=(

@@ -12,13 +12,16 @@ from __future__ import annotations
 
 from random import Random
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.net.bandwidth import BandwidthMeter, UploadBudget
 from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix
 from repro.net.nat import Reachability
 from repro.obs.registry import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["Datagram", "NetworkConfig", "DatagramNetwork"]
 
@@ -37,17 +40,36 @@ class Datagram:
 
 @dataclass(frozen=True, slots=True)
 class NetworkConfig:
-    """Loss/jitter knobs (paper defaults: 1 % loss)."""
+    """Loss/jitter knobs (paper defaults: 1 % loss).
+
+    ``loss_model`` selects between the paper's i.i.d. loss and a two-state
+    Gilbert–Elliott chain for bursty loss: each link carries a good/bad
+    state; per packet the state evolves (``ge_p_good_to_bad`` /
+    ``ge_p_bad_to_good``) and the packet is lost at that state's rate.
+    The defaults give a ~5 % stationary loss concentrated in bursts
+    (stationary P[bad] = 0.05/(0.05+0.25) ≈ 0.167 at 30 % bad-state loss).
+    """
 
     loss_rate: float = 0.01
     jitter_ms: float = 3.0  # half-width of uniform jitter added per packet
     seed: int = 0
+    loss_model: str = "iid"  # "iid" | "gilbert-elliott"
+    ge_p_good_to_bad: float = 0.05
+    ge_p_bad_to_good: float = 0.25
+    ge_loss_good: float = 0.0
+    ge_loss_bad: float = 0.3
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.jitter_ms < 0:
             raise ValueError("jitter_ms must be non-negative")
+        if self.loss_model not in ("iid", "gilbert-elliott"):
+            raise ValueError(f"unknown loss_model {self.loss_model!r}")
+        for name in ("ge_p_good_to_bad", "ge_p_bad_to_good", "ge_loss_good", "ge_loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
 
 
 class DatagramNetwork:
@@ -75,6 +97,14 @@ class DatagramNetwork:
         self.lost = 0
         self.blocked_by_nat = 0
         self.dropped_over_budget = 0
+        self.duplicated = 0
+        #: Unified drop accounting: every way a datagram dies, by cause
+        #: (loss | budget | nat | partition | crashed).
+        self.dropped_by_cause: dict[str, int] = {}
+        #: Optional fault injector (see :mod:`repro.faults`); attaching one
+        #: with an empty schedule leaves all behaviour bit-identical.
+        self.faults: FaultInjector | None = None
+        self._ge_state: dict[tuple[int, int], bool] = {}  # link -> in bad state
         # Observability: per-message-type send counters/bytes plus a
         # delivery-latency histogram.  Handles are bound once here, so a
         # disabled registry costs one no-op call per event.
@@ -85,7 +115,24 @@ class DatagramNetwork:
         self._ctr_lost = obs.counter("net.datagrams.lost")
         self._ctr_delivered = obs.counter("net.datagrams.delivered")
         self._ctr_bytes = obs.counter("net.bytes.sent")
+        self._ctr_duplicated = obs.counter("net.datagrams.duplicated")
         self._hist_delivery = obs.histogram("net.delivery_seconds")
+        self._ctr_dropped = {
+            cause: obs.counter(f"net.dropped.{cause}")
+            for cause in ("loss", "budget", "nat", "partition", "crashed")
+        }
+
+    def attach_faults(self, injector: FaultInjector) -> None:
+        """Hook a :class:`repro.faults.FaultInjector` into this network."""
+        self.faults = injector
+
+    def _count_drop(self, cause: str) -> None:
+        self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1
+        counter = self._ctr_dropped.get(cause)
+        if counter is None:
+            counter = self._obs.counter(f"net.dropped.{cause}")
+            self._ctr_dropped[cause] = counter
+        counter.inc()
 
     def register(self, node_id: int, handler: Callable[[Datagram], None]) -> None:
         """Attach the receive handler for ``node_id``."""
@@ -107,10 +154,12 @@ class DatagramNetwork:
         now = self.queue.now
         if self.reachability is not None and not self.reachability.can_reach(src, dst):
             self.blocked_by_nat += 1
+            self._count_drop("nat")
             return False
         if self.budget is not None and not self.budget.try_send(src, size_bytes, now):
             self.dropped_over_budget += 1
             self.meter.usage(src).dropped_over_budget += 1
+            self._count_drop("budget")
             return False
 
         self.meter.record_send(src, size_bytes, now)
@@ -127,13 +176,24 @@ class DatagramNetwork:
             self._sent_by_type[type(payload)] = per_type
         per_type[0].inc()
         per_type[1].inc(size_bytes)
-        if src != dst and self.rng.random() < self.config.loss_rate:
+        if self.faults is not None:
+            # Like in-flight loss, a partition is invisible to the sender.
+            cause = self.faults.drop_cause(src, dst)
+            if cause is not None:
+                self.lost += 1
+                self._ctr_lost.inc()
+                self._count_drop(cause)
+                return True
+        if src != dst and self._lost_in_flight(src, dst):
             self.lost += 1
             self._ctr_lost.inc()
+            self._count_drop("loss")
             return True
 
         delay = self.latency.one_way(src, dst)
         delay += self.rng.uniform(0.0, self.config.jitter_ms / 1000.0)
+        if self.faults is not None:
+            delay += self.faults.extra_delay_seconds(src, dst)
         datagram = Datagram(
             src=src,
             dst=dst,
@@ -143,12 +203,45 @@ class DatagramNetwork:
             delivered_at=now + delay,
         )
         self.queue.schedule(delay, lambda: self._deliver(datagram))
+        if self.faults is not None and src != dst:
+            offset = self.faults.duplicate_offset_seconds()
+            if offset is not None:
+                copy = Datagram(
+                    src=src,
+                    dst=dst,
+                    payload=payload,
+                    size_bytes=size_bytes,
+                    sent_at=now,
+                    delivered_at=now + delay + offset,
+                )
+                self.duplicated += 1
+                self._ctr_duplicated.inc()
+                self.queue.schedule(delay + offset, lambda: self._deliver(copy))
         return True
+
+    def _lost_in_flight(self, src: int, dst: int) -> bool:
+        """One loss decision, under the configured loss model."""
+        cfg = self.config
+        if cfg.loss_model == "iid":
+            return self.rng.random() < cfg.loss_rate
+        # Gilbert–Elliott: evolve the link's state, then sample loss at
+        # the new state's rate — losses cluster while the link is bad.
+        key = (src, dst)
+        bad = self._ge_state.get(key, False)
+        flip = cfg.ge_p_bad_to_good if bad else cfg.ge_p_good_to_bad
+        if self.rng.random() < flip:
+            bad = not bad
+        self._ge_state[key] = bad
+        rate = cfg.ge_loss_bad if bad else cfg.ge_loss_good
+        return rate > 0.0 and self.rng.random() < rate
 
     def _deliver(self, datagram: Datagram) -> None:
         handler = self._handlers.get(datagram.dst)
         if handler is None:
-            return  # node left the game; datagram evaporates
+            # Node left (or crashed out of) the game; the in-flight
+            # datagram evaporates at its door.
+            self._count_drop("crashed")
+            return
         self.delivered += 1
         self._ctr_delivered.inc()
         self._hist_delivery.record(datagram.delivered_at - datagram.sent_at)

@@ -30,6 +30,7 @@ from repro.obs.registry import (
     set_registry,
     use_registry,
 )
+from repro.obs.stats import nearest_rank
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -44,6 +45,7 @@ __all__ = [
     "format_diff",
     "get_registry",
     "load_bench_rows",
+    "nearest_rank",
     "set_registry",
     "use_registry",
     "write_bench_json",

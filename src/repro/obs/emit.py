@@ -63,13 +63,19 @@ def bench_row(
     }
 
 
-def write_bench_json(path: str | Path, rows: list[dict] | dict) -> Path:
-    """Write rows (or a single row) as a schema-stamped artifact."""
+def write_bench_json(
+    path: str | Path, rows: list[dict] | dict, generated: str | None = None
+) -> Path:
+    """Write rows (or a single row) as a schema-stamped artifact.
+
+    ``generated`` overrides the wall-clock stamp — deterministic harnesses
+    (``repro chaos``) pin it so two identical runs emit identical bytes.
+    """
     if isinstance(rows, dict):
         rows = [rows]
     payload = {
         "schema": BENCH_SCHEMA,
-        "generated": _now_iso(),
+        "generated": generated or _now_iso(),
         "rows": rows,
     }
     path = Path(path)

@@ -1,0 +1,35 @@
+"""Small shared statistics helpers (percentiles with pinned semantics).
+
+One percentile definition for the whole repo: the **nearest-rank** method
+(the smallest value with at least ``fraction`` of the sample at or below
+it).  Unlike the ad-hoc ``ordered[int(n * 0.95)]`` index it never reads
+past the intended rank and is exact on small samples, which matters for
+the chaos recovery metrics where a handful of samples decide a CI gate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["nearest_rank"]
+
+
+def nearest_rank(
+    values: Sequence[float], fraction: float, *, presorted: bool = False
+) -> float:
+    """The ``fraction`` percentile of ``values`` by the nearest-rank method.
+
+    ``rank = ceil(fraction * n)`` (1-based, clamped to [1, n]); returns the
+    rank-th smallest value.  ``fraction`` is in (0, 1]; ``fraction=1.0``
+    is the maximum.  Raises ``ValueError`` on an empty sample.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    ordered = list(values) if not presorted else values
+    if not presorted:
+        ordered = sorted(ordered)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]

@@ -41,11 +41,42 @@ class TestMembershipView:
         assert view.quorum_size() == 5
 
     def test_proposals_accumulate_to_quorum(self):
+        # Frames past the silence threshold (60): the local view must
+        # corroborate the silence before votes can schedule a removal.
         view = self.make(size=5)  # quorum 3
-        assert not view.record_proposal(0, 4, frame=10, epoch=1)
-        assert not view.record_proposal(1, 4, frame=11, epoch=1)
-        assert view.record_proposal(2, 4, frame=12, epoch=1)
+        assert not view.record_proposal(0, 4, frame=100, epoch=1)
+        assert not view.record_proposal(1, 4, frame=101, epoch=1)
+        assert view.record_proposal(2, 4, frame=102, epoch=1)
         assert view.pending_removals() == {4: 2}  # epoch 1 + delay 1
+
+    def test_votes_alone_cannot_evict_a_locally_live_player(self):
+        """Quorum completes but the local heartbeat refutes the silence."""
+        view = self.make(size=5)  # quorum 3
+        view.heard_from(4, 95)
+        for proposer in (0, 1, 2):
+            view.record_proposal(proposer, 4, frame=100, epoch=1)
+        assert view.pending_removals() == {}
+        assert view.proposal_count(4) == 3  # votes kept for a later re-check
+
+    def test_hearing_rescinds_pending_suspicion(self):
+        """A live voice clears votes, own-proposal state and the schedule."""
+        view = self.make(size=5)
+        view.note_own_proposal(4)
+        for proposer in (0, 1, 2):
+            view.record_proposal(proposer, 4, frame=100, epoch=1)
+        assert view.pending_removals() == {4: 2}
+        view.heard_from(4, 110)
+        assert view.pending_removals() == {}
+        assert view.proposal_count(4) == 0
+        assert view.should_propose(4)
+
+    def test_applied_removals_are_never_rescinded(self):
+        view = self.make(size=4)  # quorum 3
+        for proposer in (0, 1, 2):
+            view.record_proposal(proposer, 3, frame=100, epoch=2)
+        view.apply_removals(epoch=3)
+        view.heard_from(3, 120)  # straggler update from the departed
+        assert 3 in view.removed
 
     def test_duplicate_proposer_counted_once(self):
         view = self.make(size=5)
@@ -69,7 +100,7 @@ class TestMembershipView:
     def test_removal_effective_at_future_epoch(self):
         view = self.make(size=4)  # quorum 3
         for proposer in (0, 1, 2):
-            view.record_proposal(proposer, 3, 10, epoch=2)
+            view.record_proposal(proposer, 3, 100, epoch=2)
         assert view.apply_removals(epoch=2) == set()
         assert view.apply_removals(epoch=3) == {3}
         assert 3 in view.removed
@@ -78,8 +109,8 @@ class TestMembershipView:
     def test_no_double_scheduling(self):
         view = self.make(size=4)
         for proposer in (0, 1, 2):
-            view.record_proposal(proposer, 3, 10, epoch=2)
-        assert not view.record_proposal(1, 3, 11, epoch=2)
+            view.record_proposal(proposer, 3, 100, epoch=2)
+        assert not view.record_proposal(1, 3, 101, epoch=2)
 
     def test_should_propose_once(self):
         view = self.make()
@@ -90,7 +121,7 @@ class TestMembershipView:
     def test_quorum_shrinks_after_removal(self):
         view = self.make(size=5)
         for proposer in (0, 1, 2):
-            view.record_proposal(proposer, 4, 10, epoch=0)
+            view.record_proposal(proposer, 4, 100, epoch=0)
         view.apply_removals(epoch=2)
         assert view.quorum_size() == 3  # majority of 4 remaining
 

@@ -177,6 +177,85 @@ class TestSyntheticTrees:
         assert _rules(sources, tmp_path) == ["P201", "P202", "P203", "P204"]
 
 
+ACKABLE_SUFFIX = '''\
+
+
+@dataclass(frozen=True, slots=True)
+class AckMessage:
+    sender_id: int
+
+
+ACKABLE_TYPES = ({entries})
+'''
+
+
+def make_ackable_tree(
+    root: Path, entries: str, ack_in_union: bool = True
+) -> ProtocolSources:
+    """The conformant tree plus an AckMessage and an ACKABLE_TYPES registry."""
+    sources = make_tree(root)
+    messages = root / "src" / "repro" / "core" / "messages.py"
+    text = messages.read_text()
+    if ack_in_union:
+        text = text.replace(
+            "GameMessage = Union[Ping, Pong, Farewell]",
+            "GameMessage = Union[Ping, Pong, Farewell, AckMessage]",
+        )
+        text = text.replace(
+            "    elif isinstance(message, Farewell):\n        return 4\n",
+            "    elif isinstance(message, Farewell):\n        return 4\n"
+            "    elif isinstance(message, AckMessage):\n        return 2\n",
+        )
+        node = root / "src" / "repro" / "core" / "node.py"
+        node.write_text(
+            node.read_text().replace(
+                "        elif isinstance(message, Farewell):\n            pass\n",
+                "        elif isinstance(message, Farewell):\n            pass\n"
+                "        elif isinstance(message, AckMessage):\n            pass\n",
+            )
+        )
+        wire = root / "src" / "repro" / "core" / "wire.py"
+        wire.write_text(
+            wire.read_text().replace(
+                '    "Farewell": Farewell,\n',
+                '    "Farewell": Farewell,\n    "AckMessage": object,\n',
+            )
+        )
+    messages.write_text(text + ACKABLE_SUFFIX.format(entries=entries))
+    return sources
+
+
+class TestAckableRegistry:
+    def test_consistent_registry_is_clean(self, tmp_path):
+        sources = make_ackable_tree(tmp_path, entries="Ping, Pong")
+        assert _rules(sources, tmp_path) == []
+
+    def test_no_registry_skips_p205(self, tmp_path):
+        # Fixture trees predating reliable delivery must stay clean.
+        sources = make_tree(tmp_path)
+        assert _rules(sources, tmp_path) == []
+
+    def test_ack_inside_registry_is_p205(self, tmp_path):
+        sources = make_ackable_tree(tmp_path, entries="Ping, AckMessage")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P205"]
+        assert "loop" in violations[0].message
+
+    def test_nonmember_in_registry_is_p205(self, tmp_path):
+        sources = make_ackable_tree(tmp_path, entries="Ping, Bogus")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P205"]
+        assert "Bogus" in violations[0].message
+
+    def test_registry_without_ack_in_union_is_p205(self, tmp_path):
+        sources = make_ackable_tree(
+            tmp_path, entries="Ping, Pong", ack_in_union=False
+        )
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P205"]
+        assert "union" in violations[0].message
+
+
 class TestRealRepo:
     def test_repo_protocol_is_conformant(self):
         core = REPO_ROOT / "src" / "repro" / "core"
@@ -188,7 +267,7 @@ class TestRealRepo:
         assert sources.exists()
         assert run_protocol_rules(sources, src_root=REPO_ROOT / "src") == []
 
-    def test_repo_union_has_all_eight_messages(self):
+    def test_repo_union_has_all_nine_messages(self):
         import ast
 
         from repro.lint.protocol import union_member_names
@@ -197,4 +276,86 @@ class TestRealRepo:
         members = union_member_names(tree)
         assert "StateUpdate" in members
         assert "RemovalProposal" in members  # the imported-member case
-        assert len(members) == 8
+        assert "AckMessage" in members  # the reliable-delivery receipt
+        assert len(members) == 9
+
+
+class TestRealRepoMutations:
+    """Deleting AckMessage from any of its registration points is caught.
+
+    Each test copies the real protocol triple, surgically removes one
+    registration, and asserts the corresponding rule fires — the
+    regression the P-family exists for: a message type that "works" in
+    review but is silently unroutable, unencodable, or unsized.
+    """
+
+    def _mutated(self, tmp_path, filename: str, old: str, new: str):
+        core = REPO_ROOT / "src" / "repro" / "core"
+        work = tmp_path / "core"
+        work.mkdir()
+        for name in ("messages.py", "node.py", "wire.py"):
+            text = (core / name).read_text()
+            if name == filename:
+                assert old in text, f"mutation anchor missing in {name}"
+                text = text.replace(old, new)
+            (work / name).write_text(text)
+        sources = ProtocolSources(
+            messages_path=work / "messages.py",
+            node_path=work / "node.py",
+            wire_path=work / "wire.py",
+        )
+        # src_root stays the real tree so imported members still resolve.
+        return run_protocol_rules(sources, src_root=REPO_ROOT / "src")
+
+    def test_removing_ack_from_union_is_p205(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "messages.py",
+            "    RemovalProposal,\n    AckMessage,\n]",
+            "    RemovalProposal,\n]",
+        )
+        assert [v.rule for v in violations] == ["P205"]
+        assert "union" in violations[0].message
+
+    def test_removing_ack_dispatch_branch_is_p202(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "node.py",
+            "        elif isinstance(message, AckMessage):\n"
+            "            self._on_ack(src, message)\n",
+            "",
+        )
+        assert [v.rule for v in violations] == ["P202"]
+        assert "AckMessage" in violations[0].message
+
+    def test_removing_ack_codec_registration_is_p203(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "wire.py",
+            '    "AckMessage": AckMessage,\n',
+            "",
+        )
+        assert [v.rule for v in violations] == ["P203"]
+        assert "AckMessage" in violations[0].message
+
+    def test_removing_ack_size_branch_is_p204(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "messages.py",
+            "    elif isinstance(message, AckMessage):\n"
+            "        body = config.subscription_bits  # tiny signed receipt\n",
+            "",
+        )
+        assert [v.rule for v in violations] == ["P204"]
+        assert "AckMessage" in violations[0].message
+
+    def test_adding_ack_to_ackable_types_is_p205(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "messages.py",
+            "ACKABLE_TYPES: tuple[type, ...] = (\n    SubscriptionRequest,",
+            "ACKABLE_TYPES: tuple[type, ...] = (\n    AckMessage,"
+            "\n    SubscriptionRequest,",
+        )
+        assert [v.rule for v in violations] == ["P205"]
+        assert "loop" in violations[0].message

@@ -1,0 +1,48 @@
+"""Nearest-rank percentile semantics (shared by view-error stats and chaos)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import nearest_rank
+
+
+class TestNearestRank:
+    def test_single_value(self):
+        assert nearest_rank([42.0], 0.95) == 42.0
+
+    def test_p95_of_100_values_is_95th(self):
+        values = [float(v) for v in range(1, 101)]
+        assert nearest_rank(values, 0.95) == 95.0
+
+    def test_p50_of_four_values_is_second(self):
+        # Nearest-rank: rank = ceil(0.5 * 4) = 2, never an interpolation.
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 0.50) == 2.0
+
+    def test_max_fraction_returns_max(self):
+        assert nearest_rank([3.0, 1.0, 2.0], 1.0) == 3.0
+
+    def test_unsorted_input_is_sorted_first(self):
+        # rank = ceil(0.3 * 3) = 1 -> smallest value
+        assert nearest_rank([9.0, 1.0, 5.0], 0.3) == 1.0
+
+    def test_presorted_skips_sorting(self):
+        values = [1.0, 5.0, 9.0]
+        assert nearest_rank(values, 0.3, presorted=True) == 1.0
+
+    def test_result_is_always_an_observed_value(self):
+        values = [1.0, 10.0]
+        # p95 of two samples is the larger one, not 9.55.
+        assert nearest_rank(values, 0.95) == 10.0
+
+    def test_tiny_fraction_clamps_to_first_rank(self):
+        assert nearest_rank([1.0, 2.0, 3.0], 0.001) == 1.0
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.95)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_fraction_out_of_range_raises(self, fraction):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], fraction)

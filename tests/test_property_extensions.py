@@ -36,9 +36,10 @@ class TestMembershipProperties:
     def test_quorum_always_majority(self, size, proposers):
         view = MembershipView(list(range(size)))
         subject = size - 1
+        # Frame past the silence threshold so the local view corroborates.
         for proposer in proposers:
             if proposer < size:
-                view.record_proposal(proposer, subject, 10, 0)
+                view.record_proposal(proposer, subject, 100, 0)
         valid_proposers = {p for p in proposers if p < size and True}
         scheduled = subject in view.pending_removals()
         assert scheduled == (
@@ -52,7 +53,7 @@ class TestMembershipProperties:
         view = MembershipView(list(range(size)))
         subject = size - 1
         for proposer in range(size // 2 + 1):
-            view.record_proposal(proposer, subject, 0, epoch)
+            view.record_proposal(proposer, subject, 100, epoch)
         due = view.pending_removals()[subject]
         assert due > epoch
         assert view.apply_removals(due - 1) == set()
