@@ -10,7 +10,7 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 fast:
-	$(PYTHON) -m pytest -x -q -m "not slow and not chaos"
+	$(PYTHON) -m pytest -x -q -m "not slow and not chaos and not perf"
 
 lint:
 	$(PYTHON) -m repro lint --json -
@@ -28,6 +28,7 @@ precheck:
 bench:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) -m pytest \
 		benchmarks/bench_scalability.py benchmarks/bench_crypto.py \
+		benchmarks/bench_interest.py \
 		-q --benchmark-disable
 
 # The fault-injection matrix with its SLO gates plus the bench-diff

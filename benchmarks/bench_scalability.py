@@ -32,7 +32,9 @@ def test_scalability_bandwidth(benchmark, yard, results_dir):
         "\n(centralized server column is the 120·n kbps literature figure; "
         "Watchmen keeps per-node upload in broadband range as n grows)\n"
     )
-    metrics = {}
+    # wall_seconds doubles as a gated cost metric: the bench-diff gate
+    # flags runs whose end-to-end sweep slows down by more than 25 %.
+    metrics = {"wall_seconds": wall}
     for point in points:
         metrics[f"watchmen_mean_kbps.n{point.num_players}"] = point.watchmen_mean_kbps
         metrics[f"watchmen_max_kbps.n{point.num_players}"] = point.watchmen_max_kbps

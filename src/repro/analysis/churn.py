@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.game.gamemap import GameMap
-from repro.game.interest import InteractionRecency, InterestConfig, attention_score, compute_sets
+from repro.game.interest import (
+    InteractionRecency,
+    InterestConfig,
+    attention_score,
+    compute_all_sets,
+)
 from repro.game.trace import GameTrace
 
 __all__ = ["ChurnStats", "churn_statistics", "interest_sets_over_trace"]
@@ -49,16 +54,17 @@ def interest_sets_over_trace(
         recency = InteractionRecency()
         for shot in trace.shots:
             recency.record(shot.shooter_id, shot.target_id, shot.frame)
-    result: dict[int, list[frozenset[int]]] = {
-        pid: [] for pid in trace.player_ids()
-    }
+    player_ids = trace.player_ids()
+    result: dict[int, list[frozenset[int]]] = {pid: [] for pid in player_ids}
     for frame in range(0, trace.num_frames, stride):
         snapshots = trace.frames[frame]
-        for player_id in trace.player_ids():
-            sets = compute_sets(
-                snapshots[player_id], snapshots, game_map, frame, config, recency
-            )
-            result[player_id].append(sets.interest)
+        # Batched: per-frame LOS cache + hoisted per-observer state, with
+        # output identical to per-observer compute_sets calls.
+        all_sets = compute_all_sets(
+            snapshots, game_map, frame, config, recency, observers=player_ids
+        )
+        for player_id in player_ids:
+            result[player_id].append(all_sets[player_id].interest)
     return result
 
 

@@ -20,9 +20,11 @@ metric with :mod:`repro.game.interest`.  Two Donnybrook-specific points:
 
 from __future__ import annotations
 
+import heapq
+
 from repro.core.disclosure import InfoLevel
 from repro.game.avatar import AvatarSnapshot
-from repro.game.interest import InteractionRecency, InterestConfig, attention_score
+from repro.game.interest import InteractionRecency, InterestConfig, ObserverFrame
 
 __all__ = ["DonnybrookModel"]
 
@@ -46,20 +48,23 @@ class DonnybrookModel:
     ) -> None:
         self._interest = {}
         for observer_id, observer in snapshots.items():
+            # Hoist the observer's eye/aim state once per frame; nlargest is
+            # documented to agree with sorted(..., reverse=True)[:n],
+            # including stable tie order, so the IS is unchanged.
+            oframe = ObserverFrame(observer, self.config)
             candidates = [
                 other_id
                 for other_id, other in snapshots.items()
                 if other_id != observer_id and other.alive
             ]
-            candidates.sort(
-                key=lambda oid: attention_score(
-                    observer, snapshots[oid], frame, self.config, self.recency
+            top = heapq.nlargest(
+                self.config.interest_size,
+                candidates,
+                key=lambda oid: oframe.attention_score(
+                    snapshots[oid], frame, self.recency
                 ),
-                reverse=True,
             )
-            self._interest[observer_id] = frozenset(
-                candidates[: self.config.interest_size]
-            )
+            self._interest[observer_id] = frozenset(top)
 
     def interest_set(self, observer_id: int) -> frozenset[int]:
         return self._interest.get(observer_id, frozenset())

@@ -17,7 +17,7 @@ from repro.game.interest import (
     InteractionRecency,
     InterestConfig,
     InterestSets,
-    compute_sets,
+    compute_all_sets,
 )
 
 __all__ = ["WatchmenModel"]
@@ -46,17 +46,16 @@ class WatchmenModel:
         self, frame: int, snapshots: dict[int, AvatarSnapshot]
     ) -> None:
         self._epoch = self.schedule.epoch_of_frame(frame)
-        self._sets = {
-            observer_id: compute_sets(
-                observer,
-                snapshots,
-                self.game_map,
-                frame,
-                self.config,
-                self.recency,
-            )
-            for observer_id, observer in snapshots.items()
-        }
+        # Batched entry point: shares the per-frame symmetric LOS cache and
+        # the per-observer hoisted state across the whole frame.  Identical
+        # output to calling compute_sets per observer.
+        self._sets = compute_all_sets(
+            snapshots,
+            self.game_map,
+            frame,
+            self.config,
+            self.recency,
+        )
 
     def sets_of(self, observer_id: int) -> InterestSets:
         return self._sets[observer_id]

@@ -61,7 +61,7 @@ from repro.crypto.signatures import HmacSigner
 from repro.game.avatar import AvatarSnapshot, snapshot_delta_fields
 from repro.game.deadreckoning import GuidancePrediction, predict_linear
 from repro.game.gamemap import GameMap
-from repro.game.interest import InteractionRecency
+from repro.game.interest import InteractionRecency, LosCache
 from repro.game.vector import Vec3
 from repro.game.physics import Physics
 from repro.obs.registry import (
@@ -239,6 +239,7 @@ class WatchmenNode:
         rating_sink: Callable[[CheatRating], None] | None = None,
         is_server: bool = False,
         registry: MetricsRegistry | None = None,
+        los_cache: LosCache | None = None,
     ) -> None:
         self.player_id = player_id
         #: Hybrid-architecture servers proxy and verify but never publish
@@ -267,7 +268,9 @@ class WatchmenNode:
 
             self.action_repetition_verifier = ActionRepetitionVerifier(physics)
         self.recency = InteractionRecency()
-        self.planner = SubscriptionPlanner(player_id, game_map, config, self.recency)
+        self.planner = SubscriptionPlanner(
+            player_id, game_map, config, self.recency, los=los_cache
+        )
         self.position_verifier = PositionVerifier(physics)
         self.aim_verifier = AimVerifier(
             max_turn_rate=physics.config.max_turn_rate,

@@ -30,6 +30,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.game.gamemap import GameMap, make_longest_yard
 from repro.game.avatar import AvatarSnapshot
+from repro.game.interest import LosCache
 from repro.game.trace import GameTrace, ShotEvent
 from repro.net.events import EventQueue
 from repro.net.latency import LatencyMatrix, king_like
@@ -199,6 +200,12 @@ class WatchmenSession:
         for player_id in roster + self.server_ids:
             self.signer.register(player_id)
 
+        #: One symmetric LOS cache shared by every node's planner for the
+        #: current frame (cleared at the top of each tick).  Node views
+        #: differ (dead reckoning), so entries are keyed by exact eye
+        #: positions — sharing never changes results, only avoids repeats.
+        self.los_cache = LosCache(self.game_map)
+
         behaviours = behaviours or {}
         self.nodes: dict[int, WatchmenNode] = {}
         for player_id in roster:
@@ -213,6 +220,7 @@ class WatchmenSession:
                 behaviour=behaviours.get(player_id),
                 rating_sink=self.reputation.submit_rating,
                 registry=self.obs,
+                los_cache=self.los_cache,
             )
             # Seed frame-0 knowledge: FPS "players are usually aware of all
             # entities of the game" when the match starts.
@@ -237,6 +245,7 @@ class WatchmenSession:
                 rating_sink=self.reputation.submit_rating,
                 is_server=True,
                 registry=self.obs,
+                los_cache=self.los_cache,
             )
             server_node.known = dict(trace.frames[0])
             self.nodes[server_id] = server_node
@@ -320,6 +329,9 @@ class WatchmenSession:
             self._tick_inner(frame)
 
     def _tick_inner(self, frame: int) -> None:
+        # New frame: reset the shared LOS memo before any planner runs.
+        self.los_cache.begin_frame(frame)
+
         # Abrupt departures: the machine is gone — no more sends, no more
         # receives.  The remaining nodes must detect and agree on it.
         for player_id, depart_frame in self.departures.items():

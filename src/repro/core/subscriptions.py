@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.config import WatchmenConfig
 from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap
-from repro.game.interest import InteractionRecency, compute_sets
+from repro.game.interest import InteractionRecency, LosCache, compute_sets
 
 __all__ = ["SubscriptionPlanner", "SubscriberTable", "PlannedSubscriptions"]
 
@@ -46,11 +46,16 @@ class SubscriptionPlanner:
         game_map: GameMap,
         config: WatchmenConfig,
         recency: InteractionRecency | None = None,
+        los: LosCache | None = None,
     ) -> None:
         self.player_id = player_id
         self.game_map = game_map
         self.config = config
         self.recency = recency or InteractionRecency()
+        #: Optional per-frame LOS cache shared with the other planners of a
+        #: session (the session clears it each frame).  Purely a speedup:
+        #: results are identical with or without it.
+        self.los = los
         self._active_interest: dict[int, int] = {}  # target -> expiry frame
         self._active_vision: dict[int, int] = {}
 
@@ -69,6 +74,7 @@ class SubscriptionPlanner:
             frame,
             self.config.interest,
             self.recency,
+            los=self.los,
         )
 
         retention = self.config.subscription_retention_frames

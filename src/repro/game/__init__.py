@@ -27,9 +27,14 @@ from repro.game.interest import (
     InteractionRecency,
     InterestConfig,
     InterestSets,
+    LosCache,
+    ObserverFrame,
     SetKind,
+    compute_all_sets,
     compute_sets,
+    compute_sets_reference,
 )
+from repro.game.spatial import SpatialGrid
 from repro.game.physics import MoveIntent, Physics, PhysicsConfig
 from repro.game.simulator import DeathmatchSimulator, SimulationConfig, generate_trace
 from repro.game.trace import GameTrace, KillEvent, ShotEvent, TraceCursor
@@ -48,15 +53,20 @@ __all__ = [
     "ItemKind",
     "ItemSpec",
     "KillEvent",
+    "LosCache",
     "MoveIntent",
+    "ObserverFrame",
     "Physics",
     "PhysicsConfig",
     "SetKind",
     "ShotEvent",
     "SimulationConfig",
+    "SpatialGrid",
     "TraceCursor",
     "Vec3",
+    "compute_all_sets",
     "compute_sets",
+    "compute_sets_reference",
     "generate_trace",
     "make_arena",
     "make_corridors",

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from random import Random
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap, eye_position
@@ -31,7 +32,14 @@ from repro.game.physics import MoveIntent
 from repro.game.vector import Vec3
 from repro.game.weapons import WEAPONS
 
-__all__ = ["BotDecision", "BotController", "HumanlikeBot", "WaypointBot"]
+__all__ = ["BotDecision", "BotController", "HumanlikeBot", "WaypointBot", "LosProvider"]
+
+
+class LosProvider(Protocol):
+    """Anything answering line-of-sight queries (a map or a per-frame cache)."""
+
+    def line_of_sight(self, eye: Vec3, target: Vec3) -> bool:
+        ...
 
 ENGAGE_RANGE = 1500.0
 LOW_HEALTH = 35
@@ -48,9 +56,19 @@ class BotDecision:
 class BotController:
     """Base class: common perception and steering helpers."""
 
-    def __init__(self, player_id: int, game_map: GameMap, rng: Random) -> None:
+    def __init__(
+        self,
+        player_id: int,
+        game_map: GameMap,
+        rng: Random,
+        los: "LosProvider | None" = None,
+    ) -> None:
         self.player_id = player_id
         self.game_map = game_map
+        #: LOS provider: the map itself, or a shared per-frame cache the
+        #: simulator passes so the symmetric A-sees-B test is computed once
+        #: across all bots of a frame.  Results are identical either way.
+        self.los: LosProvider = los if los is not None else game_map
         self.rng = rng
         self._goal: Vec3 | None = None
         self._goal_expires = 0
@@ -78,7 +96,7 @@ class BotController:
                 continue
             if snap.position.distance_to(me.position) > ENGAGE_RANGE:
                 continue
-            if self.game_map.line_of_sight(my_eye, eye_position(snap.position)):
+            if self.los.line_of_sight(my_eye, eye_position(snap.position)):
                 enemies.append(snap)
         enemies.sort(key=lambda s: s.position.distance_to(me.position))
         return enemies
@@ -197,8 +215,14 @@ class WaypointBot(BotController):
     points, giving the ridge-like NPC heatmap of Figure 1(b).
     """
 
-    def __init__(self, player_id: int, game_map: GameMap, rng: Random) -> None:
-        super().__init__(player_id, game_map, rng)
+    def __init__(
+        self,
+        player_id: int,
+        game_map: GameMap,
+        rng: Random,
+        los: LosProvider | None = None,
+    ) -> None:
+        super().__init__(player_id, game_map, rng, los=los)
         anchors = list(game_map.item_positions()) + list(game_map.respawn_points)
         if not anchors:
             raise ValueError("map has no anchors to build a patrol loop")

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.game.spatial import SpatialGrid
 from repro.game.vector import Vec3
 
 __all__ = [
@@ -149,6 +150,37 @@ class GameMap:
         for point in self.respawn_points:
             if not self.in_bounds(point):
                 raise ValueError(f"respawn point {point} outside map bounds")
+        # Lazy spatial index over `solids` (see docs/PERFORMANCE.md).  The
+        # index is rebuilt automatically when the solids *list object* or
+        # its length changes; replacing an element in place requires an
+        # explicit `invalidate_spatial_index()` call.
+        self._index: SpatialGrid | None = None
+        self._index_source: list[Box] | None = None
+        # Perf accounting for the LOS fast path (plain ints: no observable
+        # behaviour, negligible overhead, read by bench_interest).
+        self.los_queries: int = 0
+        self.los_boxes_tested: int = 0
+
+    # ---- spatial index -----------------------------------------------------
+
+    @property
+    def spatial_index(self) -> SpatialGrid:
+        """The (lazily built) uniform grid over ``solids``."""
+        index = self._index
+        if (
+            index is None
+            or self._index_source is not self.solids
+            or index.num_boxes != len(self.solids)
+        ):
+            index = SpatialGrid(self.solids)
+            self._index = index
+            self._index_source = self.solids
+        return index
+
+    def invalidate_spatial_index(self) -> None:
+        """Drop the cached grid (call after mutating a Box in place)."""
+        self._index = None
+        self._index_source = None
 
     # ---- queries ----------------------------------------------------------
 
@@ -167,7 +199,22 @@ class GameMap:
         )
 
     def floor_height(self, point: Vec3) -> float | None:
-        """Top of the highest solid under ``point``'s XY, or None (void)."""
+        """Top of the highest solid under ``point``'s XY, or None (void).
+
+        Fast path: only boxes registered in the point's grid cell are
+        tested.  Bit-identical to :meth:`floor_height_naive` (the grid is
+        conservative and the per-box test is unchanged).
+        """
+        best: float | None = None
+        boxes = self.solids
+        for index in self.spatial_index.point_candidates(point.x, point.y):
+            box = boxes[index]
+            if box.contains_xy(point) and (best is None or box.top > best):
+                best = box.top
+        return best
+
+    def floor_height_naive(self, point: Vec3) -> float | None:
+        """Reference linear scan over all solids (exactness-gate baseline)."""
         best: float | None = None
         for box in self.solids:
             if box.contains_xy(point) and (best is None or box.top > best):
@@ -180,7 +227,106 @@ class GameMap:
         This is the occlusion test behind the vision set: avatars "in a
         player's vision range, but behind a wall do not appear in his
         vision set".
+
+        Fast path: endpoints are put in canonical order (which makes the
+        result exactly symmetric, so per-frame caches can share LOS(a,b)
+        with LOS(b,a)), then only the boxes whose grid cells the segment
+        touches are slab-tested.  Bit-identical to
+        :meth:`line_of_sight_naive`.
         """
+        ex, ey, ez = eye.x, eye.y, eye.z
+        tx, ty, tz = target.x, target.y, target.z
+        if (ex, ey, ez) > (tx, ty, tz):
+            ex, ey, ez, tx, ty, tz = tx, ty, tz, ex, ey, ez
+        index = self.spatial_index
+        candidates = index.segment_candidates(ex, ey, tx, ty)
+        self.los_queries += 1
+        self.los_boxes_tested += len(candidates)
+        if not candidates:
+            return True
+        # Inlined containment + slab test over the grid's flat float bounds.
+        # Arithmetic mirrors Box.contains / Box.intersects_segment
+        # operation-for-operation (tests enforce bit-identical results);
+        # inlining avoids per-box tuple construction and Vec3 attribute
+        # chains on a path run O(players²) times per frame.
+        dx = tx - ex
+        dy = ty - ey
+        dz = tz - ez
+        bounds = index.box_bounds
+        for candidate in candidates:
+            min_x, min_y, min_z, max_x, max_y, max_z = bounds[candidate]
+            if min_x <= ex <= max_x and min_y <= ey <= max_y and min_z <= ez <= max_z:
+                continue  # box contains the eye: it cannot occlude
+            if min_x <= tx <= max_x and min_y <= ty <= max_y and min_z <= tz <= max_z:
+                continue  # box contains the target
+            t_enter = 0.0
+            t_exit = 1.0
+            # -- x slab (surface_epsilon = 1e-6, as in intersects_segment)
+            lo = min_x + 1e-6
+            hi = max_x - 1e-6
+            if abs(dx) < 1e-12:
+                if ex < lo or ex > hi:
+                    continue
+            else:
+                t1 = (lo - ex) / dx
+                t2 = (hi - ex) / dx
+                if t1 > t2:
+                    t1, t2 = t2, t1
+                if t1 > t_enter:
+                    t_enter = t1
+                if t2 < t_exit:
+                    t_exit = t2
+                if t_enter > t_exit:
+                    continue
+            # -- y slab
+            lo = min_y + 1e-6
+            hi = max_y - 1e-6
+            if abs(dy) < 1e-12:
+                if ey < lo or ey > hi:
+                    continue
+            else:
+                t1 = (lo - ey) / dy
+                t2 = (hi - ey) / dy
+                if t1 > t2:
+                    t1, t2 = t2, t1
+                if t1 > t_enter:
+                    t_enter = t1
+                if t2 < t_exit:
+                    t_exit = t2
+                if t_enter > t_exit:
+                    continue
+            # -- z slab
+            lo = min_z + 1e-6
+            hi = max_z - 1e-6
+            if abs(dz) < 1e-12:
+                if ez < lo or ez > hi:
+                    continue
+            else:
+                t1 = (lo - ez) / dz
+                t2 = (hi - ez) / dz
+                if t1 > t2:
+                    t1, t2 = t2, t1
+                if t1 > t_enter:
+                    t_enter = t1
+                if t2 < t_exit:
+                    t_exit = t2
+                if t_enter > t_exit:
+                    continue
+            # Require a real interior crossing, not a surface graze.
+            if (t_exit - t_enter) > 1e-9:
+                return False
+        return True
+
+    def line_of_sight_naive(self, eye: Vec3, target: Vec3) -> bool:
+        """Reference linear scan over all solids (exactness-gate baseline).
+
+        Uses the same canonical endpoint order as the fast path so that
+        both are symmetric and comparable bit-for-bit.
+        """
+        if (eye.x, eye.y, eye.z) > (target.x, target.y, target.z):
+            eye, target = target, eye
+        self.los_queries += 1
+        self.los_boxes_tested += len(self.solids)
         for box in self.solids:
             if box.contains(eye) or box.contains(target):
                 continue

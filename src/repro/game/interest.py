@@ -10,25 +10,51 @@ This implements Section III-A of the paper (Figure 2):
   metric combining proximity, aim and interaction recency (Donnybrook's
   metric).  IS members are removed from the VS.
 - **Others** — everyone else; they only ever yield 1 Hz position updates.
+
+Performance architecture (see docs/PERFORMANCE.md): the classification
+runs every 50 ms frame for every player, so the hot path is organised as
+
+- :class:`ObserverFrame` — per-observer hoisted state (eye position, aim
+  vector, squared-distance cull bound) computed once per observer instead
+  of once per (observer, target) pair;
+- :class:`LosCache` — a per-frame symmetric memo over
+  :meth:`GameMap.line_of_sight` (LOS(a, b) == LOS(b, a) because the map
+  canonicalises endpoint order), shared across all observers of a frame;
+- :func:`compute_all_sets` — the batched entry point sessions, analyses
+  and baselines use: target eye positions, alive filtering and the LOS
+  cache are computed once for the whole roster;
+- top-k selection by :func:`heapq.nlargest`, which the stdlib guarantees
+  equivalent to ``sorted(..., reverse=True)[:k]`` (stable ties included).
+
+Every fast path is **exactness-gated**: :func:`compute_sets_reference`
+retains the naive per-pair implementation verbatim, and property tests
+assert bit-identical :class:`InterestSets` across random maps, yaws and
+player counts.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.config import INTEREST_SET_SIZE, VISION_HALF_ANGLE, VISION_SLACK
 from repro.game.avatar import AvatarSnapshot
 from repro.game.gamemap import GameMap, eye_position
-from repro.game.vector import Vec3
+from repro.game.vector import Vec3, clamp
+from repro.obs.registry import get_registry
 
 __all__ = [
     "InterestConfig",
     "SetKind",
     "InterestSets",
+    "ObserverFrame",
+    "LosCache",
     "attention_score",
     "in_vision_cone",
     "compute_sets",
+    "compute_all_sets",
+    "compute_sets_reference",
     "InteractionRecency",
 ]
 
@@ -117,20 +143,160 @@ class InteractionRecency:
         return 0.5 ** (since / max(1, halflife))
 
 
+class LosCache:
+    """Per-frame symmetric line-of-sight memo shared across observers.
+
+    LOS depends only on the two eye positions and the (static) solids, and
+    :meth:`GameMap.line_of_sight` canonicalises endpoint order, so one
+    cached boolean serves both LOS(a, b) and LOS(b, a).  The cache is
+    cleared at each :meth:`begin_frame` to bound memory; entries would
+    actually stay valid as long as the map's solids are untouched (see
+    docs/PERFORMANCE.md for the invalidation rules).
+    """
+
+    __slots__ = ("game_map", "hits", "misses", "_frame", "_memo")
+
+    def __init__(self, game_map: GameMap) -> None:
+        self.game_map = game_map
+        self.hits = 0
+        self.misses = 0
+        self._frame: int | None = None
+        self._memo: dict[
+            tuple[tuple[float, float, float], tuple[float, float, float]], bool
+        ] = {}
+
+    def begin_frame(self, frame: int) -> None:
+        """Start a new frame: drop the previous frame's entries."""
+        if frame != self._frame:
+            self._frame = frame
+            self._memo.clear()
+
+    def line_of_sight(self, eye: Vec3, target: Vec3) -> bool:
+        key_a = (eye.x, eye.y, eye.z)
+        key_b = (target.x, target.y, target.z)
+        key = (key_a, key_b) if key_a <= key_b else (key_b, key_a)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.game_map.line_of_sight(eye, target)
+        self._memo[key] = result
+        return result
+
+
+class ObserverFrame:
+    """Hoisted per-observer state for one frame of classification.
+
+    The naive path rebuilds ``eye_position(observer.position)`` and
+    ``Vec3.from_yaw(observer.yaw)`` for *every* target; this computes them
+    once.  The scalar methods below mirror the reference arithmetic
+    operation-for-operation (same order, same intermediate expressions) so
+    their results are bit-identical — the property tests enforce it.
+    """
+
+    __slots__ = (
+        "snapshot",
+        "config",
+        "eye",
+        "aim",
+        "aim_length",
+        "cull_radius_sq",
+        "half_angle_slack",
+        "half_angle_strict",
+    )
+
+    def __init__(self, observer: AvatarSnapshot, config: InterestConfig) -> None:
+        self.snapshot = observer
+        self.config = config
+        self.eye = eye_position(observer.position)
+        self.aim = Vec3.from_yaw(observer.yaw)
+        self.aim_length = self.aim.length()
+        # Conservative squared-distance cull: anything beyond this is
+        # certainly outside vision_radius, so the exact sqrt-based check
+        # only runs for pairs that might be visible.  The 1e-6 slack keeps
+        # the cull strictly weaker than the exact comparison.
+        cull = config.vision_radius * 1.000001
+        self.cull_radius_sq = cull * cull
+        self.half_angle_slack = config.effective_half_angle
+        self.half_angle_strict = config.vision_half_angle
+
+    def in_vision_cone(self, target: AvatarSnapshot, slack: bool = True) -> bool:
+        """Exact mirror of :func:`in_vision_cone` with hoisted observer state."""
+        return self._cone_check(eye_position(target.position), slack)
+
+    def _cone_check(self, target_eye: Vec3, slack: bool = True) -> bool:
+        """Cone test against a precomputed target eye position."""
+        eye = self.eye
+        dx = target_eye.x - eye.x
+        dy = target_eye.y - eye.y
+        dz = target_eye.z - eye.z
+        dist_sq = dx * dx + dy * dy + dz * dz
+        if dist_sq > self.cull_radius_sq:
+            return False  # early-out; exact check below is strictly stronger
+        distance = math.sqrt(dist_sq)
+        if distance > self.config.vision_radius or distance == 0.0:
+            return False
+        half_angle = self.half_angle_slack if slack else self.half_angle_strict
+        aim = self.aim
+        denom = self.aim_length * distance
+        if denom == 0.0:
+            return True  # angle_to() defines the degenerate angle as 0
+        cosine = clamp((aim.x * dx + aim.y * dy + aim.z * dz) / denom, -1.0, 1.0)
+        return math.acos(cosine) <= half_angle
+
+    def attention_score(
+        self,
+        target: AvatarSnapshot,
+        frame: int,
+        recency: InteractionRecency | None = None,
+    ) -> float:
+        """Exact mirror of :func:`attention_score` with hoisted observer state."""
+        observer = self.snapshot
+        config = self.config
+        dx = target.position.x - observer.position.x
+        dy = target.position.y - observer.position.y
+        dz = target.position.z - observer.position.z
+        distance = math.sqrt(dx * dx + dy * dy + dz * dz)
+        proximity = 1.0 / (1.0 + distance / config.proximity_scale)
+        # aim_error = aim.angle_to(offset.with_z(0.0)), unrolled.
+        aim = self.aim
+        horizontal = math.sqrt(dx * dx + dy * dy + 0.0 * 0.0)
+        denom = self.aim_length * horizontal
+        if denom == 0.0:
+            aim_error = 0.0
+        else:
+            cosine = clamp(
+                (aim.x * dx + aim.y * dy + aim.z * 0.0) / denom, -1.0, 1.0
+            )
+            aim_error = math.acos(cosine)
+        aim_term = max(0.0, 1.0 - aim_error / math.pi)
+        recent = 0.0
+        if recency is not None:
+            recent = recency.score(
+                observer.player_id,
+                target.player_id,
+                frame,
+                config.recency_halflife_frames,
+            )
+        return proximity + aim_term + recent
+
+
 def in_vision_cone(
     observer: AvatarSnapshot,
     target: AvatarSnapshot,
     config: InterestConfig,
     slack: bool = True,
+    observer_frame: ObserverFrame | None = None,
 ) -> bool:
-    """Is ``target`` inside ``observer``'s (possibly enlarged) vision cone?"""
-    to_target = eye_position(target.position) - eye_position(observer.position)
-    distance = to_target.length()
-    if distance > config.vision_radius or distance == 0.0:
-        return False
-    aim = Vec3.from_yaw(observer.yaw)
-    half_angle = config.effective_half_angle if slack else config.vision_half_angle
-    return aim.angle_to(to_target) <= half_angle
+    """Is ``target`` inside ``observer``'s (possibly enlarged) vision cone?
+
+    Callers classifying many targets for one observer should build one
+    :class:`ObserverFrame` and pass it (or call its method directly) so the
+    observer's eye position and aim vector are not rebuilt per target.
+    """
+    frame = observer_frame or ObserverFrame(observer, config)
+    return frame.in_vision_cone(target, slack)
 
 
 def attention_score(
@@ -139,19 +305,66 @@ def attention_score(
     frame: int,
     config: InterestConfig,
     recency: InteractionRecency | None = None,
+    observer_frame: ObserverFrame | None = None,
 ) -> float:
     """Donnybrook-style attention: proximity + aim + interaction recency."""
-    offset = target.position - observer.position
-    distance = offset.length()
-    proximity = 1.0 / (1.0 + distance / config.proximity_scale)
-    aim_error = Vec3.from_yaw(observer.yaw).angle_to(offset.with_z(0.0))
-    aim = max(0.0, 1.0 - aim_error / math.pi)
-    recent = 0.0
-    if recency is not None:
-        recent = recency.score(
-            observer.player_id, target.player_id, frame, config.recency_halflife_frames
+    oframe = observer_frame or ObserverFrame(observer, config)
+    return oframe.attention_score(target, frame, recency)
+
+
+def _classify(
+    oframe: ObserverFrame,
+    everyone: dict[int, AvatarSnapshot],
+    los: GameMap | LosCache,
+    frame: int,
+    config: InterestConfig,
+    recency: InteractionRecency | None,
+    eyes: dict[int, Vec3] | None,
+) -> InterestSets:
+    """Shared classification core of the single and batched entry points."""
+    visible: list[int] = []
+    others: set[int] = set()
+    observer_id = oframe.snapshot.player_id
+    observer_eye = oframe.eye
+    for other_id, snap in everyone.items():
+        if other_id == observer_id:
+            continue
+        if not snap.alive:
+            others.add(other_id)
+            continue
+        target_eye = eyes[other_id] if eyes is not None else eye_position(
+            snap.position
         )
-    return proximity + aim + recent
+        if oframe._cone_check(target_eye) and los.line_of_sight(
+            observer_eye, target_eye
+        ):
+            visible.append(other_id)
+        else:
+            others.add(other_id)
+
+    if len(visible) <= config.interest_size:
+        # Fewer visible players than IS slots: everyone visible is in the
+        # IS, no scoring needed (the reference's top-k of <= k items).
+        interest = frozenset(visible)
+        vision: frozenset[int] = frozenset()
+    else:
+        # heapq.nlargest is documented equivalent to
+        # sorted(iterable, key=key, reverse=True)[:n] — ties included — so
+        # the selected top-k set matches the reference full sort exactly.
+        top = heapq.nlargest(
+            config.interest_size,
+            visible,
+            key=lambda oid: oframe.attention_score(everyone[oid], frame, recency),
+        )
+        interest = frozenset(top)
+        vision = frozenset(oid for oid in visible if oid not in interest)
+    return InterestSets(
+        player_id=observer_id,
+        frame=frame,
+        interest=interest,
+        vision=vision,
+        others=frozenset(others),
+    )
 
 
 def compute_sets(
@@ -161,6 +374,7 @@ def compute_sets(
     frame: int,
     config: InterestConfig | None = None,
     recency: InteractionRecency | None = None,
+    los: LosCache | None = None,
 ) -> InterestSets:
     """Partition all other players into IS / VS / Others for ``observer``.
 
@@ -168,6 +382,70 @@ def compute_sets(
     to obtain frequent and accurate information about avatars he cannot
     see"), and IS members are removed from the VS ("automatically removed
     from its vision set").
+
+    ``los`` optionally supplies a per-frame :class:`LosCache` shared with
+    other observers of the same frame (the session and simulator loops pass
+    one); results are identical either way.
+    """
+    config = config or InterestConfig()
+    oframe = ObserverFrame(observer, config)
+    return _classify(
+        oframe, everyone, los if los is not None else game_map, frame, config,
+        recency, eyes=None,
+    )
+
+
+def compute_all_sets(
+    everyone: dict[int, AvatarSnapshot],
+    game_map: GameMap,
+    frame: int,
+    config: InterestConfig | None = None,
+    recency: InteractionRecency | None = None,
+    observers: list[int] | None = None,
+    los: LosCache | None = None,
+) -> dict[int, InterestSets]:
+    """Batched classification: IS/VS/Others for every observer of a frame.
+
+    The shared work — target eye positions, the symmetric LOS cache, the
+    per-observer hoisting — is done once for the whole roster instead of
+    once per :func:`compute_sets` call.  Returns exactly
+    ``{oid: compute_sets(everyone[oid], everyone, ...) for oid in observers}``
+    (observers defaults to every player in ``everyone``, in dict order).
+    """
+    config = config or InterestConfig()
+    obs = get_registry()
+    with obs.histogram("interest.compute_all_seconds").time():
+        if los is None:
+            los = LosCache(game_map)
+            los.begin_frame(frame)
+        hits_before, misses_before = los.hits, los.misses
+        eyes = {pid: eye_position(snap.position) for pid, snap in everyone.items()}
+        ids = observers if observers is not None else list(everyone)
+        result: dict[int, InterestSets] = {}
+        for observer_id in ids:
+            oframe = ObserverFrame(everyone[observer_id], config)
+            result[observer_id] = _classify(
+                oframe, everyone, los, frame, config, recency, eyes
+            )
+    obs.counter("interest.pairs").inc(len(ids) * max(0, len(everyone) - 1))
+    obs.counter("interest.los_cache_hits").inc(los.hits - hits_before)
+    obs.counter("interest.los_cache_misses").inc(los.misses - misses_before)
+    return result
+
+
+def compute_sets_reference(
+    observer: AvatarSnapshot,
+    everyone: dict[int, AvatarSnapshot],
+    game_map: GameMap,
+    frame: int,
+    config: InterestConfig | None = None,
+    recency: InteractionRecency | None = None,
+) -> InterestSets:
+    """The retained naive implementation — the fast path's exactness gate.
+
+    Per-pair eye/aim recomputation, full sort, linear LOS scan
+    (:meth:`GameMap.line_of_sight_naive`).  Kept verbatim so property tests
+    can assert the optimised paths produce bit-identical results.
     """
     config = config or InterestConfig()
     visible: list[int] = []
@@ -179,7 +457,9 @@ def compute_sets(
         if not snap.alive:
             others.add(other_id)
             continue
-        if in_vision_cone(observer, snap, config) and game_map.line_of_sight(
+        if _in_vision_cone_reference(
+            observer, snap, config
+        ) and game_map.line_of_sight_naive(
             observer_eye, eye_position(snap.position)
         ):
             visible.append(other_id)
@@ -188,7 +468,7 @@ def compute_sets(
 
     scored = sorted(
         visible,
-        key=lambda oid: attention_score(
+        key=lambda oid: _attention_score_reference(
             observer, everyone[oid], frame, config, recency
         ),
         reverse=True,
@@ -202,3 +482,40 @@ def compute_sets(
         vision=vision,
         others=frozenset(others),
     )
+
+
+def _in_vision_cone_reference(
+    observer: AvatarSnapshot,
+    target: AvatarSnapshot,
+    config: InterestConfig,
+    slack: bool = True,
+) -> bool:
+    """Original per-pair cone test (reference semantics, kept verbatim)."""
+    to_target = eye_position(target.position) - eye_position(observer.position)
+    distance = to_target.length()
+    if distance > config.vision_radius or distance == 0.0:
+        return False
+    aim = Vec3.from_yaw(observer.yaw)
+    half_angle = config.effective_half_angle if slack else config.vision_half_angle
+    return aim.angle_to(to_target) <= half_angle
+
+
+def _attention_score_reference(
+    observer: AvatarSnapshot,
+    target: AvatarSnapshot,
+    frame: int,
+    config: InterestConfig,
+    recency: InteractionRecency | None = None,
+) -> float:
+    """Original per-pair attention metric (reference semantics, verbatim)."""
+    offset = target.position - observer.position
+    distance = offset.length()
+    proximity = 1.0 / (1.0 + distance / config.proximity_scale)
+    aim_error = Vec3.from_yaw(observer.yaw).angle_to(offset.with_z(0.0))
+    aim = max(0.0, 1.0 - aim_error / math.pi)
+    recent = 0.0
+    if recency is not None:
+        recent = recency.score(
+            observer.player_id, target.player_id, frame, config.recency_halflife_frames
+        )
+    return proximity + aim + recent

@@ -20,7 +20,7 @@ from repro.core.config import FRAME_SECONDS
 from repro.game.avatar import AvatarState
 from repro.game.bots import BotController, HumanlikeBot, WaypointBot
 from repro.game.gamemap import GameMap, make_longest_yard
-from repro.game.interest import InteractionRecency
+from repro.game.interest import InteractionRecency, LosCache
 from repro.game.items import ItemManager
 from repro.game.physics import Physics, PhysicsConfig
 from repro.game.trace import GameTrace, KillEvent, ShotEvent, TraceEvent
@@ -72,6 +72,10 @@ class DeathmatchSimulator:
             self.game_map, PhysicsConfig(frame_seconds=self.config.frame_seconds)
         )
         self.items = ItemManager(self.game_map)
+        #: Per-frame symmetric LOS cache shared by every bot controller:
+        #: bot A seeing bot B is the same geometric query as B seeing A, so
+        #: each frame computes roughly half the naive LOS volume.
+        self.los = LosCache(self.game_map)
         self.recency = InteractionRecency()
         self.avatars: dict[int, AvatarState] = {}
         self.controllers: dict[int, BotController] = {}
@@ -94,11 +98,11 @@ class DeathmatchSimulator:
             controller_rng = Random(self.config.seed * 1_000_003 + player_id)
             if player_id < num_npcs:
                 self.controllers[player_id] = WaypointBot(
-                    player_id, self.game_map, controller_rng
+                    player_id, self.game_map, controller_rng, los=self.los
                 )
             else:
                 self.controllers[player_id] = HumanlikeBot(
-                    player_id, self.game_map, controller_rng
+                    player_id, self.game_map, controller_rng, los=self.los
                 )
             self._last_shot_frame[player_id] = -10_000
 
@@ -117,6 +121,7 @@ class DeathmatchSimulator:
         return trace
 
     def _step_frame(self, frame: int, trace: GameTrace) -> None:
+        self.los.begin_frame(frame)
         self.items.tick(frame)
         self._respawn_dead(frame)
 
