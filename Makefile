@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fast lint lint-fix precheck bench chaos
+.PHONY: test fast lint lint-fix precheck bench chaos tapes replay-verify
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,8 +28,22 @@ precheck:
 bench:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) -m pytest \
 		benchmarks/bench_scalability.py benchmarks/bench_crypto.py \
-		benchmarks/bench_interest.py \
+		benchmarks/bench_interest.py benchmarks/bench_tape.py \
 		-q --benchmark-disable
+
+# Regenerate the golden tape corpus (docs/REPLAY.md).  Recording is
+# deterministic: on an unchanged protocol this rewrites identical bytes,
+# so a dirty `git status` after running it means the wire behaviour
+# changed and the corpus refresh belongs in that same commit.
+tapes:
+	$(PYTHON) -m repro tape record --preset normal --out tests/tapes/normal.tape
+	$(PYTHON) -m repro tape record --preset chaos --out tests/tapes/chaos.tape
+	$(PYTHON) -m repro tape record --preset cheater --out tests/tapes/cheater.tape
+
+# The CI replay gate, locally: re-simulate every committed tape and fail
+# on the first divergent frame.
+replay-verify:
+	$(PYTHON) -m repro tape verify tests/tapes/*.tape
 
 # The fault-injection matrix with its SLO gates plus the bench-diff
 # regression gate against the committed chaos baseline rows.

@@ -58,6 +58,7 @@ from repro.core import WatchmenSession
 from repro.core.config import PROXY_PERIOD_FRAMES
 from repro.faults.chaos import run_chaos
 from repro.lint.cli import add_lint_arguments, cmd_lint
+from repro.replay.cli import add_tape_arguments, cmd_tape
 from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
 from repro.net.latency import LatencyMatrix, king_like, peerwise_like, uniform_lan
 from repro.net.transport import NetworkConfig
@@ -167,6 +168,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="determinism / protocol-conformance / typing static analysis",
     )
     add_lint_arguments(lint)
+
+    tape = sub.add_parser(
+        "tape",
+        help="record/verify/inspect/diff deterministic match tapes "
+        "(exit 1 on divergence, 2 on usage problems)",
+    )
+    add_tape_arguments(tape)
 
     chaos = sub.add_parser(
         "chaos",
@@ -455,6 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "bench-diff": cmd_bench_diff,
         "lint": cmd_lint,
+        "tape": cmd_tape,
         "chaos": cmd_chaos,
     }
     return handlers[args.command](args)

@@ -193,7 +193,10 @@ class WatchmenSession:
             self.network.attach_faults(self.fault_injector)
         #: node -> frame it crash-stopped during this run
         self.crashed: dict[int, int] = {}
-        #: optional per-frame hook (chaos harness samples staleness here)
+        #: optional per-frame hooks: ``on_frame_begin`` fires before any
+        #: node runs (the tape recorder stamps frame boundaries here),
+        #: ``on_frame_end`` after (chaos harness samples staleness there)
+        self.on_frame_begin: Callable[[int], None] | None = None
         self.on_frame_end: Callable[[int], None] | None = None
 
         self.signer = signer or HmacSigner(signature_bits=self.config.signature_bits)
@@ -329,6 +332,9 @@ class WatchmenSession:
             self._tick_inner(frame)
 
     def _tick_inner(self, frame: int) -> None:
+        if self.on_frame_begin is not None:
+            self.on_frame_begin(frame)
+
         # New frame: reset the shared LOS memo before any planner runs.
         self.los_cache.begin_frame(frame)
 

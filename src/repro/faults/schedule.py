@@ -152,3 +152,78 @@ class FaultSchedule:
             or self.latency_spikes
             or self.duplications
         )
+
+    # ---- persistence ------------------------------------------------------
+    #
+    # A schedule is pure data, so it serializes losslessly; the tape
+    # format (:mod:`repro.replay`) embeds the materialised schedule so a
+    # recorded chaos run replays with the identical fault plan even if
+    # the scenario-building logic later changes.
+
+    def to_json(self) -> dict:
+        """JSON-safe dict; inverse of :meth:`from_json`."""
+        return {
+            "seed": self.seed,
+            "crashes": [
+                {"node_id": c.node_id, "frame": c.frame} for c in self.crashes
+            ],
+            "proxy_crashes": [
+                {"player_id": c.player_id, "frame": c.frame}
+                for c in self.proxy_crashes
+            ],
+            "partitions": [
+                {
+                    "group_a": sorted(p.group_a),
+                    "group_b": sorted(p.group_b),
+                    "start_frame": p.start_frame,
+                    "end_frame": p.end_frame,
+                }
+                for p in self.partitions
+            ],
+            "latency_spikes": [
+                {
+                    "src": s.src,
+                    "dst": s.dst,
+                    "start_frame": s.start_frame,
+                    "end_frame": s.end_frame,
+                    "extra_ms": s.extra_ms,
+                    "symmetric": s.symmetric,
+                }
+                for s in self.latency_spikes
+            ],
+            "duplications": [
+                {
+                    "rate": d.rate,
+                    "start_frame": d.start_frame,
+                    "end_frame": d.end_frame,
+                    "offset_ms": d.offset_ms,
+                }
+                for d in self.duplications
+            ],
+        }
+
+    @staticmethod
+    def from_json(data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_json` output."""
+        return FaultSchedule(
+            crashes=tuple(CrashFault(**row) for row in data.get("crashes", ())),
+            proxy_crashes=tuple(
+                CrashProxyFault(**row) for row in data.get("proxy_crashes", ())
+            ),
+            partitions=tuple(
+                PartitionFault(
+                    group_a=frozenset(row["group_a"]),
+                    group_b=frozenset(row["group_b"]),
+                    start_frame=row["start_frame"],
+                    end_frame=row["end_frame"],
+                )
+                for row in data.get("partitions", ())
+            ),
+            latency_spikes=tuple(
+                LatencySpikeFault(**row) for row in data.get("latency_spikes", ())
+            ),
+            duplications=tuple(
+                DuplicateFault(**row) for row in data.get("duplications", ())
+            ),
+            seed=data.get("seed", 0),
+        )

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.core.config import FRAME_SECONDS
 from repro.game.avatar import AvatarSnapshot
@@ -105,78 +105,99 @@ class GameTrace:
 
     # ---- persistence ---------------------------------------------------------
 
+    def to_json_rows(self) -> Iterator[dict]:
+        """The trace as JSON-safe row dicts (header first).
+
+        This is the single serialized shape: ``save_jsonl`` writes one row
+        per line, and the tape format (:mod:`repro.replay`) embeds the same
+        rows so a ``.tape`` is self-contained.
+        """
+        yield {
+            "type": "header",
+            "version": TRACE_FORMAT_VERSION,
+            "map": self.map_name,
+            "players": self.num_players,
+            "frame_seconds": self.frame_seconds,
+            "seed": self.seed,
+        }
+        for frame_index, snapshots in enumerate(self.frames):
+            yield {
+                "type": "frame",
+                "frame": frame_index,
+                "avatars": [_snapshot_to_json(s) for s in snapshots.values()],
+            }
+        for shot in self.shots:
+            yield {"type": "shot", **asdict(shot)}
+        for kill in self.kills:
+            yield {"type": "kill", **asdict(kill)}
+        for event in self.events:
+            yield {"type": "event", "frame": event.frame, "kind": event.kind,
+                   "payload": event.payload}
+
+    @staticmethod
+    def from_json_rows(rows: "Iterable[dict]") -> "GameTrace":
+        """Inverse of :meth:`to_json_rows`; raises ValueError on bad rows."""
+        trace: GameTrace | None = None
+        frame_rows: list[tuple[int, dict[int, AvatarSnapshot]]] = []
+        for row in rows:
+            row = dict(row)
+            kind = row.pop("type")
+            if kind == "header":
+                if row["version"] != TRACE_FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported trace version {row['version']}"
+                    )
+                trace = GameTrace(
+                    map_name=row["map"],
+                    num_players=row["players"],
+                    frame_seconds=row["frame_seconds"],
+                    seed=row["seed"],
+                )
+            elif trace is None:
+                raise ValueError("trace rows missing header")
+            elif kind == "frame":
+                snapshots = {
+                    s["player_id"]: _snapshot_from_json(s)
+                    for s in row["avatars"]
+                }
+                frame_rows.append((row["frame"], snapshots))
+            elif kind == "shot":
+                trace.shots.append(ShotEvent(**row))
+            elif kind == "kill":
+                trace.kills.append(KillEvent(**row))
+            elif kind == "event":
+                trace.events.append(
+                    TraceEvent(row["frame"], row["kind"], row["payload"])
+                )
+            else:
+                raise ValueError(f"unknown trace row type {kind!r}")
+        if trace is None:
+            raise ValueError("no trace rows")
+        frame_rows.sort(key=lambda pair: pair[0])
+        trace.frames = [snapshots for _, snapshots in frame_rows]
+        return trace
+
     def save_jsonl(self, path: str | Path) -> None:
         """Write the trace as one JSON object per line (header first)."""
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
-            header = {
-                "type": "header",
-                "version": TRACE_FORMAT_VERSION,
-                "map": self.map_name,
-                "players": self.num_players,
-                "frame_seconds": self.frame_seconds,
-                "seed": self.seed,
-            }
-            handle.write(json.dumps(header) + "\n")
-            for frame_index, snapshots in enumerate(self.frames):
-                row = {
-                    "type": "frame",
-                    "frame": frame_index,
-                    "avatars": [_snapshot_to_json(s) for s in snapshots.values()],
-                }
-                handle.write(json.dumps(row) + "\n")
-            for shot in self.shots:
-                handle.write(json.dumps({"type": "shot", **asdict(shot)}) + "\n")
-            for kill in self.kills:
-                handle.write(json.dumps({"type": "kill", **asdict(kill)}) + "\n")
-            for event in self.events:
-                row = {"type": "event", "frame": event.frame, "kind": event.kind,
-                       "payload": event.payload}
+            for row in self.to_json_rows():
                 handle.write(json.dumps(row) + "\n")
 
     @staticmethod
     def load_jsonl(path: str | Path) -> "GameTrace":
         path = Path(path)
-        trace: GameTrace | None = None
-        frame_rows: list[tuple[int, dict[int, AvatarSnapshot]]] = []
         with path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                row = json.loads(line)
-                kind = row.pop("type")
-                if kind == "header":
-                    if row["version"] != TRACE_FORMAT_VERSION:
-                        raise ValueError(
-                            f"unsupported trace version {row['version']}"
-                        )
-                    trace = GameTrace(
-                        map_name=row["map"],
-                        num_players=row["players"],
-                        frame_seconds=row["frame_seconds"],
-                        seed=row["seed"],
-                    )
-                elif trace is None:
-                    raise ValueError("trace file missing header line")
-                elif kind == "frame":
-                    snapshots = {
-                        s["player_id"]: _snapshot_from_json(s)
-                        for s in row["avatars"]
-                    }
-                    frame_rows.append((row["frame"], snapshots))
-                elif kind == "shot":
-                    trace.shots.append(ShotEvent(**row))
-                elif kind == "kill":
-                    trace.kills.append(KillEvent(**row))
-                elif kind == "event":
-                    trace.events.append(
-                        TraceEvent(row["frame"], row["kind"], row["payload"])
-                    )
-                else:
-                    raise ValueError(f"unknown trace row type {kind!r}")
-        if trace is None:
-            raise ValueError("empty trace file")
-        frame_rows.sort(key=lambda pair: pair[0])
-        trace.frames = [snapshots for _, snapshots in frame_rows]
-        return trace
+            try:
+                return GameTrace.from_json_rows(
+                    json.loads(line) for line in handle if line.strip()
+                )
+            except ValueError as error:
+                if "no trace rows" in str(error):
+                    raise ValueError("empty trace file") from None
+                if "missing header" in str(error):
+                    raise ValueError("trace file missing header line") from None
+                raise
 
 
 def _snapshot_to_json(snap: AvatarSnapshot) -> dict:

@@ -1,8 +1,8 @@
 """D-family rules: nondeterminism that breaks replay verification.
 
-All three rules are per-file AST scans over the deterministic packages
-(``src/repro/{core,game,crypto,net,cheats}``); the observability layer
-and the CLI are deliberately out of scope (they read wall clocks on
+All rules are per-file AST scans over the deterministic packages
+(``src/repro/{core,game,crypto,net,cheats,replay}``); the observability
+layer and the CLI are deliberately out of scope (they read wall clocks on
 purpose and never feed protocol state).
 """
 
@@ -14,14 +14,41 @@ from repro.lint.violations import Violation
 
 __all__ = [
     "DETERMINISTIC_PACKAGES",
+    "FILE_IO_ALLOWLIST",
     "check_wall_clock",
     "check_module_random",
     "check_float_equality",
+    "check_file_io",
     "run_determinism_rules",
 ]
 
 #: Sub-packages of repro whose code must replay bit-identically.
-DETERMINISTIC_PACKAGES = ("core", "game", "crypto", "net", "cheats")
+DETERMINISTIC_PACKAGES = ("core", "game", "crypto", "net", "cheats", "replay")
+
+#: Files allowed to touch the filesystem despite living in deterministic
+#: scope: the explicit persistence boundaries.  Everything else in scope
+#: must stay pure so a replayed run cannot observe host filesystem state.
+#: Additions here are a reviewed decision, not an inline ignore.
+FILE_IO_ALLOWLIST = frozenset(
+    {
+        "src/repro/game/trace.py",  # trace JSONL save/load
+        "src/repro/replay/tape.py",  # .tape read/write
+        "src/repro/replay/cli.py",  # tape CLI output + divergence reports
+    }
+)
+
+#: Method names whose call is a filesystem read/write wherever it appears
+#: (Path methods and the io.open family share them).
+_FILE_IO_ATTRS = {
+    "open",
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+    "unlink",
+    "mkdir",
+    "rename",
+}
 
 #: Functions whose call reads the host clock.
 _WALL_CLOCK_CALLS = {
@@ -166,6 +193,43 @@ def check_float_equality(path: str, tree: ast.AST, source_lines: list[str]) -> l
     return violations
 
 
+def check_file_io(path: str, tree: ast.AST, source_lines: list[str]) -> list[Violation]:
+    """D104: filesystem access outside the allowlisted persistence files.
+
+    Protocol code that reads or writes the host filesystem makes a replay
+    depend on machine state the tape cannot capture.  Persistence lives
+    only in the files named in :data:`FILE_IO_ALLOWLIST` — extending that
+    list is an explicit, reviewed decision (no inline ignores).
+    """
+    if path in FILE_IO_ALLOWLIST:
+        return []
+    violations: list[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name: str | None = None
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            name = "open"
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in _FILE_IO_ATTRS:
+            name = node.func.attr
+        if name is None:
+            continue
+        violations.append(
+            Violation(
+                rule="D104",
+                path=path,
+                line=node.lineno,
+                message=(
+                    f"file I/O `{name}()` in deterministic code; persistence "
+                    "belongs in an allowlisted boundary module (see "
+                    "repro.lint.determinism.FILE_IO_ALLOWLIST)"
+                ),
+                context=_line(source_lines, node.lineno),
+            )
+        )
+    return violations
+
+
 def run_determinism_rules(
     path: str, tree: ast.AST, source_lines: list[str]
 ) -> list[Violation]:
@@ -174,4 +238,5 @@ def run_determinism_rules(
     violations.extend(check_wall_clock(path, tree, source_lines))
     violations.extend(check_module_random(path, tree, source_lines))
     violations.extend(check_float_equality(path, tree, source_lines))
+    violations.extend(check_file_io(path, tree, source_lines))
     return violations

@@ -77,7 +77,7 @@ _CATALOG_ENTRIES = (
             "clock.  Wall-clock reads are allowed only in the observability "
             "layer (repro.obs) and the CLI, which never feed protocol state."
         ),
-        scope="src/repro/{core,game,crypto,net,cheats}",
+        scope="src/repro/{core,game,crypto,net,cheats,replay}",
         examples=(
             "flags:  stamp = time.time()",
             "flags:  now = datetime.now()",
@@ -99,7 +99,7 @@ _CATALOG_ENTRIES = (
             "(`from random import Random`), so no module-state call can "
             "creep in."
         ),
-        scope="src/repro/{core,game,crypto,net,cheats}",
+        scope="src/repro/{core,game,crypto,net,cheats,replay}",
         examples=(
             "flags:  import random",
             "flags:  from random import choice",
@@ -118,11 +118,31 @@ _CATALOG_ENTRIES = (
             "against literal 0.0 are exempt: exact-zero guards (division, "
             "zero-length vectors) are deterministic and idiomatic."
         ),
-        scope="src/repro/{core,game,crypto,net,cheats}",
+        scope="src/repro/{core,game,crypto,net,cheats,replay}",
         examples=(
             "flags:  if distance == 1.5:",
             "ok:     if denom == 0.0:",
             "ok:     if abs(distance - 1.5) <= 1e-9:",
+        ),
+    ),
+    RuleInfo(
+        rule="D104",
+        summary="file I/O outside the allowlisted persistence boundaries",
+        rationale=(
+            "Deterministic code that opens, reads, or writes files couples a "
+            "replay to host filesystem state the tape cannot capture, and "
+            "gives protocol logic a side channel the verifier never sees.  "
+            "Persistence is confined to the explicit boundary modules named "
+            "in repro.lint.determinism.FILE_IO_ALLOWLIST (the trace "
+            "serializer and the tape format/CLI); adding a file there is a "
+            "reviewed decision, and inline ignores are deliberately not "
+            "honoured for new I/O sites."
+        ),
+        scope="src/repro/{core,game,crypto,net,cheats,replay}",
+        examples=(
+            "flags:  with open(path) as handle:",
+            "flags:  Path(out).write_text(report)",
+            "ok:     rows = trace.to_json_rows()  # pure; caller persists",
         ),
     ),
     RuleInfo(

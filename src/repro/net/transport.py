@@ -104,6 +104,11 @@ class DatagramNetwork:
         #: Optional fault injector (see :mod:`repro.faults`); attaching one
         #: with an empty schedule leaves all behaviour bit-identical.
         self.faults: FaultInjector | None = None
+        #: Pure-observation send taps (see :mod:`repro.replay`): called
+        #: after every offered datagram with its acceptance outcome.  Taps
+        #: must never mutate the payload or send — the tape recorder
+        #: relies on a tapped run being bit-identical to an untapped one.
+        self.send_taps: list[Callable[[int, int, object, int, bool], None]] = []
         self._ge_state: dict[tuple[int, int], bool] = {}  # link -> in bad state
         # Observability: per-message-type send counters/bytes plus a
         # delivery-latency histogram.  Handles are bound once here, so a
@@ -149,6 +154,13 @@ class DatagramNetwork:
         Loss in flight still returns True — the sender cannot observe it,
         exactly like UDP.
         """
+        accepted = self._send(src, dst, payload, size_bytes)
+        for tap in self.send_taps:
+            tap(src, dst, payload, size_bytes, accepted)
+        return accepted
+
+    def _send(self, src: int, dst: int, payload: object, size_bytes: int) -> bool:
+        """The actual send path (:meth:`send` minus the observation taps)."""
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
         now = self.queue.now

@@ -1,0 +1,145 @@
+"""The tape recorder: pure observation of a live Watchmen session.
+
+:class:`TapeRecorder` attaches to a session through two hooks that exist
+for exactly this purpose — ``session.on_frame_begin`` (frame boundaries)
+and ``session.network.send_taps`` (every datagram offered to the
+transport, with its local acceptance outcome).  Neither hook perturbs the
+run: a taped session is bit-identical to an untapped one, which is what
+lets verify mode compare streams byte for byte.
+
+Recording is deliberately two-phase.  During the run the tap only appends
+``(src, dst, payload, size, accepted)`` tuples — payloads are frozen
+message dataclasses, so holding references is safe and costs one list
+append per datagram.  The expensive part (canonical wire encoding of
+every message, digest chaining) happens once in :meth:`finalize`, after
+the frame loop has finished; that is how record mode stays within its
+≤10 % frame-loop overhead budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.wire import encode_message
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.replay.scenario import TapeScenario
+from repro.replay.tape import Tape, TapedMessage, TapeFrame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import WatchmenSession
+    from repro.faults.schedule import FaultSchedule
+
+__all__ = ["TapeRecorder", "record_session"]
+
+
+class TapeRecorder:
+    """Captures one session run into a :class:`~repro.replay.tape.Tape`."""
+
+    def __init__(
+        self,
+        session: "WatchmenSession",
+        scenario: TapeScenario,
+        faults: "FaultSchedule | None" = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.session = session
+        self.scenario = scenario
+        self.faults = faults
+        self._frames: list[tuple[int, list[tuple[int, int, object, int, bool]]]] = []
+        self._current: list[tuple[int, int, object, int, bool]] = []
+        self._attached = False
+        self._finalized = False
+        obs = registry if registry is not None else get_registry()
+        self._ctr_messages = obs.counter("tape.messages")
+        self._ctr_bytes = obs.counter("tape.bytes")
+        self._gauge_frames = obs.gauge("tape.frames")
+        self._hist_finalize = obs.histogram("tape.finalize_seconds")
+
+    # ---- hooks -------------------------------------------------------------
+
+    def attach(self) -> "TapeRecorder":
+        """Hook into the session; idempotent, chains any existing hook."""
+        if self._attached:
+            return self
+        previous = self.session.on_frame_begin
+
+        def on_frame_begin(frame: int) -> None:
+            self._begin_frame(frame)
+            if previous is not None:
+                previous(frame)
+
+        self.session.on_frame_begin = on_frame_begin
+        self.session.network.send_taps.append(self._tap)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        taps = self.session.network.send_taps
+        if self._tap in taps:
+            taps.remove(self._tap)
+        self._attached = False
+
+    def _begin_frame(self, frame: int) -> None:
+        self._current = []
+        self._frames.append((frame, self._current))
+
+    def _tap(
+        self, src: int, dst: int, payload: object, size_bytes: int, accepted: bool
+    ) -> None:
+        # Sends fired from delivery callbacks between ticks land on the
+        # last-started frame — the same attribution record and verify use,
+        # so frame-level comparison stays deterministic.
+        self._current.append((src, dst, payload, size_bytes, accepted))
+
+    # ---- finalisation ------------------------------------------------------
+
+    def finalize(self) -> Tape:
+        """Wire-encode the captured stream and fingerprint it."""
+        if self._finalized:
+            raise RuntimeError("recorder already finalized")
+        self._finalized = True
+        self.detach()
+        frames: list[TapeFrame] = []
+        total_messages = 0
+        total_bytes = 0
+        with self._hist_finalize.time():
+            for frame_index, raw in self._frames:
+                messages = [
+                    TapedMessage(
+                        src=src,
+                        dst=dst,
+                        size_bytes=size_bytes,
+                        accepted=accepted,
+                        payload=encode_message(payload),
+                    )
+                    for src, dst, payload, size_bytes, accepted in raw
+                ]
+                frames.append(TapeFrame(frame=frame_index, messages=messages))
+                total_messages += len(messages)
+                total_bytes += sum(m.size_bytes for m in messages)
+        tape = Tape(
+            scenario=self.scenario,
+            trace=self.session.trace,
+            frames=frames,
+            faults=self.faults,
+        )
+        tape.fingerprint()
+        self._ctr_messages.inc(total_messages)
+        self._ctr_bytes.inc(total_bytes)
+        self._gauge_frames.set(len(frames))
+        return tape
+
+
+def record_session(
+    scenario: TapeScenario,
+    registry: MetricsRegistry | None = None,
+) -> Tape:
+    """Simulate, run, and record one scenario end to end."""
+    game_map = scenario.make_map()
+    trace = scenario.make_trace(game_map)
+    faults = scenario.make_faults(trace.player_ids())
+    session = scenario.make_session(trace, faults=faults, game_map=game_map)
+    recorder = TapeRecorder(session, scenario, faults=faults, registry=registry)
+    recorder.attach()
+    session.run()
+    return recorder.finalize()

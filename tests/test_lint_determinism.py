@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 
 import pytest
 
 from repro.lint.determinism import (
+    FILE_IO_ALLOWLIST,
+    check_file_io,
     check_float_equality,
     check_module_random,
     check_wall_clock,
@@ -126,3 +129,40 @@ class TestRunAll:
             "    return Random(seed).random()\n"
         )
         assert _run(run_determinism_rules, snippet) == []
+
+
+class TestFileIO:
+    def test_flags_builtin_open(self):
+        violations = _run(check_file_io, "with open('x.json') as handle:\n    pass\n")
+        assert [v.rule for v in violations] == ["D104"]
+        assert "open" in violations[0].message
+
+    def test_flags_path_read_write_methods(self):
+        snippet = (
+            "data = Path('x').read_bytes()\n"
+            "text = Path('x').read_text()\n"
+            "Path('y').write_text(text)\n"
+            "Path('y').write_bytes(data)\n"
+            "Path('z').mkdir()\n"
+            "Path('z').unlink()\n"
+        )
+        assert len(_run(check_file_io, snippet)) == 6
+
+    def test_allowlisted_files_are_exempt(self):
+        tree = ast.parse("with open('x.tape') as handle:\n    pass\n")
+        for allowed in sorted(FILE_IO_ALLOWLIST):
+            assert check_file_io(allowed, tree, []) == []
+
+    def test_allowlist_names_real_files(self):
+        for allowed in FILE_IO_ALLOWLIST:
+            assert Path(allowed).is_file(), allowed
+
+    def test_pure_code_is_clean(self):
+        snippet = "rows = [encode(r) for r in data]\nresult = json.dumps(rows)\n"
+        assert _run(check_file_io, snippet) == []
+
+    def test_run_all_includes_file_io(self):
+        rules = sorted(
+            v.rule for v in _run(run_determinism_rules, "open('x')\n")
+        )
+        assert rules == ["D104"]
