@@ -18,11 +18,14 @@ lint:
 lint-fix:
 	$(PYTHON) -m repro lint --fix
 
-# The pre-push check: full static analysis (all rule families, JSON report
-# to stdout), the analyzer's own test suite, then the chaos matrix at the
-# CI job's parameters — the recovery-SLO gate (docs/ROBUSTNESS.md).
+# The pre-push check: static analysis (per-file rules narrowed to files
+# that differ from origin/main, whole-program families always full-tree;
+# falls back to a full scan outside a git clone), the analyzer's own test
+# suite, then the chaos matrix at the CI job's parameters — the
+# recovery-SLO gate (docs/ROBUSTNESS.md).
 precheck:
-	$(PYTHON) -m repro lint --json - && $(PYTHON) -m pytest -m lint -q \
+	$(PYTHON) -m repro lint --changed-only --json - \
+		&& $(PYTHON) -m pytest -m lint -q \
 		&& $(PYTHON) -m repro chaos --players 12 --frames 240 --seed 7
 
 bench:

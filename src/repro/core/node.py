@@ -1111,7 +1111,7 @@ class WatchmenNode:
         elif isinstance(message, AckMessage):
             self._on_ack(src, message)
 
-    def _verify_envelope(self, src: int, message: GameMessage) -> bool:
+    def _verify_envelope(self, src: int, message: GameMessage) -> bool:  # repro-taint: sanitizer
         """Signature + replay screening on every received message."""
         if message.signature is None or not self.signer.verify(
             message.sender_id, signable_bytes(message), message.signature

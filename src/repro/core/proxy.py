@@ -174,6 +174,7 @@ class ProxySchedule:
 
     # ---- verification --------------------------------------------------------
 
+    # repro-taint: sanitizer
     def verify_proxy(self, player_id: int, epoch: int, claimed_proxy: int) -> bool:
         """Any node's check that a claimed assignment matches the schedule."""
         try:
@@ -181,7 +182,7 @@ class ProxySchedule:
         except (KeyError, ValueError):
             return False
 
-    def verify_route(
+    def verify_route(  # repro-taint: sanitizer
         self, player_id: int, epoch: int, claimed_proxy: int, max_attempts: int
     ) -> bool:
         """Check a claimed (possibly failed-over) proxy against the schedule.

@@ -20,7 +20,7 @@ import struct
 __all__ = ["VerifiablePrng", "draw_uint"]
 
 
-def draw_uint(common_seed: bytes, player_id: int, counter: int) -> int:
+def draw_uint(common_seed: bytes, player_id: int, counter: int) -> int:  # repro-taint: sanitizer
     """The canonical draw: a 64-bit uint from SHA256(seed‖player‖counter).
 
     This is a pure function — any node can recompute any other node's draw,

@@ -170,6 +170,7 @@ class SchnorrSigner:
         data = _encode_point(r_point) + s.to_bytes(32, "big")
         return Signature(scheme=self.scheme, signer_id=player_id, data=data)
 
+    # repro-taint: sanitizer
     def verify(self, player_id: int, message: bytes, signature: Signature) -> bool:
         if signature.scheme != self.scheme or signature.signer_id != player_id:
             return False
@@ -257,6 +258,7 @@ class HmacSigner:
             data=mac[: self._size_bytes],
         )
 
+    # repro-taint: sanitizer
     def verify(self, player_id: int, message: bytes, signature: Signature) -> bool:
         if signature.scheme != self.scheme or signature.signer_id != player_id:
             return False

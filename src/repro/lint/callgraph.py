@@ -14,7 +14,9 @@ Call resolution is deliberately conservative, in three tiers:
 
 1. **Exact** — bare names resolve through the module's own definitions and
    its ``import``/``from … import`` table; ``self.method(...)`` resolves
-   through the enclosing class.
+   through the enclosing class; ``self.attr.method(...)`` resolves when
+   ``__init__`` (or a class-level annotation) pins ``attr`` to a known
+   class — e.g. ``self.signer = signer`` with ``signer: HmacSigner``.
 2. **By name** (CHA-lite) — an attribute call ``obj.frobnicate(...)``
    whose receiver type is unknown resolves to *every* known function named
    ``frobnicate``.  This over-approximates (extra edges, never missing
@@ -39,6 +41,8 @@ __all__ = [
     "FunctionInfo",
     "ParsedModule",
     "CallGraph",
+    "CallSite",
+    "bind_arguments",
     "build_call_graph",
     "module_name_for",
 ]
@@ -66,6 +70,23 @@ class FunctionInfo:
     node: ast.FunctionDef | ast.AsyncFunctionDef
 
 
+@dataclass(frozen=True, slots=True)
+class CallSite:
+    """One ``ast.Call`` inside a function body, with its resolved targets.
+
+    ``exact`` carries tier-1 resolutions (evidence-grade); ``by_name``
+    carries the CHA-lite same-name guesses.  The original ``ast.Call`` is
+    retained so consumers (the taint pass, return-value edges) can bind
+    arguments and read the result position.
+    """
+
+    caller: str
+    line: int
+    call: ast.Call
+    exact: frozenset[str]
+    by_name: frozenset[str]
+
+
 @dataclass(slots=True)
 class _ModuleScope:
     """Per-module name-resolution context collected in phase 1."""
@@ -77,6 +98,8 @@ class _ModuleScope:
     functions: set[str] = field(default_factory=set)
     #: class name -> its method names
     classes: dict[str, set[str]] = field(default_factory=dict)
+    #: class name -> {self attribute -> dotted class qname of its type}
+    self_attr_types: dict[str, dict[str, str]] = field(default_factory=dict)
 
 
 def module_name_for(rel_path: str) -> str | None:
@@ -128,6 +151,7 @@ class CallGraph:
         for qname, info in functions.items():
             self._by_name.setdefault(info.name, set()).add(qname)
         self._scopes: dict[str, _ModuleScope] = {}
+        self._call_sites: dict[str, tuple[CallSite, ...]] = {}
 
     # -- queries -----------------------------------------------------------
 
@@ -149,6 +173,21 @@ class CallGraph:
     def named(self, name: str) -> frozenset[str]:
         """Every known function with this bare name (any module/class)."""
         return frozenset(self._by_name.get(name, set()))
+
+    def classes_in(self, module: str) -> frozenset[str]:
+        """Class names defined at the top level of one analyzed module."""
+        scope = self._scopes.get(module)
+        return frozenset(scope.classes) if scope is not None else frozenset()
+
+    def call_sites(self, qname: str) -> tuple[CallSite, ...]:
+        """Every ``ast.Call`` in the function body, with per-site targets.
+
+        Unlike :meth:`callees`/:meth:`exact_callees` (which flatten a body
+        to edge *sets*), call sites keep the AST node, so consumers can
+        bind arguments to callee parameters and treat the call result as a
+        return-value edge — what the taint pass needs.
+        """
+        return self._call_sites.get(qname, ())
 
     def roots(self) -> frozenset[str]:
         """Functions nothing in the analyzed tree calls — the API surface."""
@@ -202,6 +241,20 @@ class CallGraph:
         exact, fallback = self._resolve(scope, class_name, call.func)
         return exact | fallback
 
+    def resolve_call_tiers(
+        self, module: str, class_name: str | None, call: ast.Call
+    ) -> tuple[frozenset[str], frozenset[str]]:
+        """(exact, by-name) targets for one ``ast.Call``, kept separate.
+
+        The taint pass propagates only along the exact tier (the R501
+        convention: a same-name guess must not carry evidence), so it
+        needs the split that :meth:`resolve_call` flattens.
+        """
+        scope = self._scopes.get(module)
+        if scope is None:
+            return frozenset(), frozenset()
+        return self._resolve(scope, class_name, call.func)
+
     def _resolve(
         self, scope: _ModuleScope, class_name: str | None, func: ast.expr
     ) -> tuple[frozenset[str], frozenset[str]]:
@@ -236,8 +289,134 @@ class CallGraph:
                     if qname in self.functions:
                         return frozenset({qname}), frozenset()
                     return frozenset({qname}), self.named(attr)
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and class_name is not None
+            ):
+                # self.<attr>.<method>(...) where __init__/class annotations
+                # pin <attr> to a known class: an evidence-grade edge.
+                attr_types = scope.self_attr_types.get(class_name, {})
+                type_qname = attr_types.get(value.attr)
+                if type_qname is not None:
+                    qname = f"{type_qname}.{attr}"
+                    if qname in self.functions:
+                        return frozenset({qname}), frozenset()
             return frozenset(), self.named(attr)
         return frozenset(), frozenset()
+
+
+def _annotation_type_name(annotation: ast.expr | None) -> str | None:
+    """The class name an annotation pins, unwrapping ``X | None``/strings."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.rsplit(".", 1)[-1]
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            name = _annotation_type_name(side)
+            if name is not None:
+                return name
+    return None
+
+
+def _resolve_type_name(scope: _ModuleScope, name: str | None) -> str | None:
+    """Type name -> dotted class qname via local classes, then imports."""
+    if name is None:
+        return None
+    if name in scope.classes:
+        return f"{scope.module}.{name}"
+    return scope.imports.get(name)
+
+
+def _collect_self_attr_types(scope: _ModuleScope, tree: ast.Module) -> None:
+    """Phase-1.5: pin ``self.<attr>`` types per class where code declares them.
+
+    Three declaration forms count: a class-body ``AnnAssign`` (dataclass
+    field), ``self.x: T = ...`` anywhere in a method, and the ``__init__``
+    idioms ``self.x = <annotated param>`` / ``self.x = KnownClass(...)``.
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs = scope.self_attr_types.setdefault(node.name, {})
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                resolved = _resolve_type_name(
+                    scope, _annotation_type_name(item.annotation)
+                )
+                if resolved is not None:
+                    attrs[item.target.id] = resolved
+        for method in node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            param_types: dict[str, str | None] = {
+                arg.arg: _annotation_type_name(arg.annotation)
+                for arg in (
+                    *method.args.posonlyargs,
+                    *method.args.args,
+                    *method.args.kwonlyargs,
+                )
+            }
+            for stmt in ast.walk(method):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, annotation = stmt.target, stmt.value, stmt.annotation
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                resolved = _resolve_type_name(scope, _annotation_type_name(annotation))
+                if resolved is None and isinstance(value, ast.Name):
+                    resolved = _resolve_type_name(scope, param_types.get(value.id))
+                if (
+                    resolved is None
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                ):
+                    resolved = _resolve_type_name(scope, value.func.id)
+                if resolved is not None:
+                    attrs.setdefault(target.attr, resolved)
+
+
+def bind_arguments(callee: FunctionInfo, call: ast.Call) -> dict[str, ast.expr]:
+    """Map a call site's arguments onto the callee's parameter names.
+
+    Positional args fill the callee's positional parameters in order
+    (``self``/``cls`` skipped for methods); keywords match by name.
+    ``*args``/``**kwargs`` forwarding is out of scope — binding stops at
+    the first ``Starred`` argument, the conservative direction for taint
+    (a dropped binding can only under-propagate a by-star call, and those
+    do not occur on the protocol paths the S rules guard).
+    """
+    spec = callee.node.args
+    params = [arg.arg for arg in (*spec.posonlyargs, *spec.args)]
+    if callee.class_name is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    bound: dict[str, ast.expr] = {}
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            bound[params[index]] = arg
+    keyword_names = set(params) | {arg.arg for arg in spec.kwonlyargs}
+    for keyword in call.keywords:
+        if keyword.arg is not None and keyword.arg in keyword_names:
+            bound[keyword.arg] = keyword.value
+    return bound
 
 
 def _collect_functions(
@@ -292,16 +471,21 @@ def build_call_graph(modules: Iterable[ParsedModule]) -> CallGraph:
             functions[info.qname] = info
         per_module.append((parsed, infos))
 
+    for parsed, _ in per_module:
+        _collect_self_attr_types(scopes[parsed.module], parsed.tree)
+
     graph = CallGraph(functions, {})
     graph._scopes = scopes
 
     callees: dict[str, frozenset[str]] = {}
     exact_callees: dict[str, frozenset[str]] = {}
+    call_sites: dict[str, tuple[CallSite, ...]] = {}
     for parsed, infos in per_module:
         scope = scopes[parsed.module]
         for info in infos:
             exact_targets: set[str] = set()
             all_targets: set[str] = set()
+            sites: list[CallSite] = []
             for node in ast.walk(info.node):
                 if isinstance(node, ast.Call):
                     exact, fallback = graph._resolve(
@@ -310,14 +494,28 @@ def build_call_graph(modules: Iterable[ParsedModule]) -> CallGraph:
                     exact_targets.update(exact)
                     all_targets.update(exact)
                     all_targets.update(fallback)
+                    sites.append(
+                        CallSite(
+                            caller=info.qname,
+                            line=node.lineno,
+                            call=node,
+                            exact=exact,
+                            by_name=fallback,
+                        )
+                    )
             exact_targets.discard(info.qname)  # self-recursion adds nothing
             all_targets.discard(info.qname)
             if all_targets:
                 callees[info.qname] = frozenset(all_targets)
             if exact_targets:
                 exact_callees[info.qname] = frozenset(exact_targets)
+            if sites:
+                call_sites[info.qname] = tuple(
+                    sorted(sites, key=lambda site: (site.line, site.call.col_offset))
+                )
 
     # Rebuild with the real edge set (CallGraph precomputes callers).
     result = CallGraph(functions, callees, exact_callees)
     result._scopes = scopes
+    result._call_sites = call_sites
     return result

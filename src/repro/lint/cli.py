@@ -2,11 +2,22 @@
 
 Exit codes mirror ``repro bench-diff``: 0 clean, 1 new violations,
 2 usage errors (unknown rule, missing path, malformed baseline).
+
+``--changed-only`` keeps the pre-commit loop fast as whole-program passes
+accumulate: the per-file families (D/T) scan only files that differ from
+``origin/main`` (plus untracked files), while the cross-file and
+whole-program families (P, F/R/C/S) still analyze the full tree — a call
+graph over a subset would miss edges and lie.  When nothing under
+``src/repro`` changed at all, the run short-circuits clean.  Fallback
+semantics: outside a git work tree, or when ``origin/main`` is unknown
+(fresh clone without the remote, detached CI checkout), the flag degrades
+to a full scan — the safe direction — and says so on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -77,6 +88,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="rewrite C601 config-drift literals to their named constants "
         "(adds the core/config.py import) and exit",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        dest="changed_only",
+        help="scan only files changed vs origin/main (whole-program "
+        "families still analyze the full tree); falls back to a full "
+        "scan outside a git repo",
     )
 
 
@@ -150,6 +169,56 @@ def _cmd_fix(root: Path) -> int:
     return 0
 
 
+def _git_lines(root: Path, *args: str) -> list[str] | None:
+    """Run one git command under ``root``; None on any failure."""
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_paths(root: Path) -> list[Path] | None:
+    """Files under ``src/repro`` that differ from ``origin/main``.
+
+    Returns None when the diff cannot be computed (not a git work tree,
+    or ``origin/main`` unknown) — the caller falls back to a full scan.
+    The list combines ``git diff --name-only origin/main`` (committed,
+    staged and unstaged edits) with untracked files, so a brand-new
+    module is linted before its first ``git add``.
+    """
+    if _git_lines(root, "rev-parse", "--is-inside-work-tree") is None:
+        return None
+    if _git_lines(root, "rev-parse", "--verify", "--quiet", "origin/main") is None:
+        return None
+    diffed = _git_lines(root, "diff", "--name-only", "origin/main")
+    if diffed is None:
+        return None
+    untracked = (
+        _git_lines(root, "ls-files", "--others", "--exclude-standard") or []
+    )
+    changed: list[Path] = []
+    seen: set[str] = set()
+    for rel in [*diffed, *untracked]:
+        if rel in seen:
+            continue
+        seen.add(rel)
+        if not rel.endswith(".py") or not rel.startswith("src/repro/"):
+            continue
+        path = root / rel
+        if path.is_file():  # deletions need no scan
+            changed.append(path)
+    return sorted(changed)
+
+
 def _github_annotations(report: LintReport) -> str:
     lines = [
         f"::error file={v.path},line={v.line}::{v.rule} {v.message}"
@@ -185,14 +254,32 @@ def _write_json_artifact(
         metrics[f"violations.{rule}"] = float(count)
     if wall_seconds is not None:
         metrics["wall_seconds"] = wall_seconds
-    row = bench_row(bench="lint", params={}, metrics=metrics)
+    rows = [bench_row(bench="lint", params={}, metrics=metrics)]
+    # The gated cost row: baseline.json carries a `lint_wall` entry, so a
+    # taint-pass blowup (wall time or fixpoint effort) fails bench-diff.
+    if wall_seconds is not None:
+        rows.append(
+            bench_row(
+                bench="lint_wall",
+                params={},
+                metrics={
+                    "wall_seconds": wall_seconds,
+                    "functions_analyzed": float(
+                        report.taint_stats.functions_analyzed
+                    ),
+                    "fixpoint_iterations": float(
+                        report.taint_stats.fixpoint_iterations
+                    ),
+                },
+            )
+        )
     if path == "-":
         import json
 
-        print(json.dumps({"schema": "repro.bench.v1", "rows": [row]}, indent=2,
+        print(json.dumps({"schema": "repro.bench.v1", "rows": rows}, indent=2,
                          sort_keys=True))
     else:
-        write_bench_json(path, row)
+        write_bench_json(path, rows)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -219,9 +306,36 @@ def cmd_lint(args: argparse.Namespace) -> int:
         default = root / DEFAULT_BASELINE
         baseline_path = default if default.is_file() else None
 
+    paths = tuple(Path(p) for p in args.paths)
+    if getattr(args, "changed_only", False):
+        if paths:
+            print(
+                "repro lint: --changed-only and explicit paths are mutually "
+                "exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        changed = changed_paths(root)
+        if changed is None:
+            print(
+                "repro lint: --changed-only needs a git work tree with "
+                "origin/main; falling back to a full scan",
+                file=sys.stderr,
+            )
+        elif not changed:
+            print(
+                "repro lint --changed-only: nothing under src/repro differs "
+                "from origin/main"
+            )
+            if args.json:
+                _write_json_artifact(LintReport(), args.json, wall_seconds=0.0)
+            return 0
+        else:
+            paths = tuple(changed)
+
     config = LintConfig(
         root=root,
-        paths=tuple(Path(p) for p in args.paths),
+        paths=paths,
         baseline_path=baseline_path,
     )
     started = time.perf_counter()

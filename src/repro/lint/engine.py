@@ -12,9 +12,10 @@ Rule scoping:
   CLI legitimately read wall clocks.
 * **P rules** run once per invocation over the messages/node/wire triple
   (paths configurable so tests can lint synthetic fixture trees).
-* **F/R/C rules** are whole-program: regardless of which paths were
+* **F/R/C/S rules** are whole-program: regardless of which paths were
   requested, they analyze everything under ``<root>/src/repro`` (a call
-  graph over a file subset would miss edges and lie).  Every file is
+  graph over a file subset would miss edges and lie; the S-family taint
+  fixpoint additionally needs every exact call edge).  Every file is
   parsed exactly once — the scan pass and the whole-program pass share a
   cache keyed by resolved path.
 
@@ -39,6 +40,7 @@ from repro.lint.determinism import DETERMINISTIC_PACKAGES, run_determinism_rules
 from repro.lint.flow import run_flow_rules
 from repro.lint.protocol import ProtocolSources, run_protocol_rules
 from repro.lint.routing import run_routing_rules
+from repro.lint.taint import TaintStats, run_taint_rules
 from repro.lint.typing_rules import run_typing_rules
 from repro.lint.violations import Violation, family_of
 
@@ -83,6 +85,9 @@ class LintReport:
     all_violations: list[Violation] = field(default_factory=list)
     suppressed: int = 0
     files_scanned: int = 0
+    #: effort counters from the interprocedural taint pass (S rules),
+    #: surfaced as the `lint_wall` bench row so CI can gate lint cost
+    taint_stats: TaintStats = TaintStats(functions_analyzed=0, fixpoint_iterations=0)
 
     def counts_by_rule(self) -> dict[str, int]:
         return dict(Counter(v.rule for v in self.violations))
@@ -262,7 +267,7 @@ def run_lint(config: LintConfig) -> LintReport:
             for v in protocol_violations
         )
 
-    found.extend(_run_whole_program(config, cache, lines_by_rel))
+    found.extend(_run_whole_program(config, cache, lines_by_rel, report))
 
     report.all_violations = _dedupe(found)
     baseline = (
@@ -280,8 +285,9 @@ def _run_whole_program(
     config: LintConfig,
     cache: _ParseCache,
     lines_by_rel: dict[str, list[str]],
+    report: LintReport,
 ) -> list[Violation]:
-    """F/R/C families over the full ``<root>/src/repro`` tree."""
+    """F/R/C/S families over the full ``<root>/src/repro`` tree."""
     program_root = config.program_root()
     if not program_root.is_dir():
         return []
@@ -301,6 +307,8 @@ def _run_whole_program(
     found: list[Violation] = []
     found.extend(run_flow_rules(graph, lines_by_rel))
     found.extend(run_routing_rules(graph, lines_by_rel))
+    taint_violations, report.taint_stats = run_taint_rules(graph, lines_by_rel)
+    found.extend(taint_violations)
     found.extend(
         run_configdrift_rules(
             trees_by_rel,

@@ -17,6 +17,10 @@ in three families:
   that reduced-resolution tiers never receive exact state.
 * **R (routing)** — whole-program checks that all traffic leaves through
   the proxy layer and replies address the authenticated envelope source.
+* **S (taint)** — interprocedural dataflow over the call graph: network
+  payloads must pass signature verification before touching authoritative
+  state, secrets must never flow to a send, and exact state must be
+  reduced before entering a low-resolution tier.
 * **C (config drift)** — paper constants are imported from
   ``core/config.py``, never re-stated as literals.
 """
@@ -331,6 +335,82 @@ _CATALOG_ENTRIES = (
         examples=(
             "flags:  self._transmit(reply, message.sender_id)",
             "ok:     self._transmit(reply, src)",
+        ),
+    ),
+    RuleInfo(
+        rule="S701",
+        summary="unsanitized network payload reaches an authoritative sink",
+        rationale=(
+            "The paper's whole trust model is one invariant: nothing a peer "
+            "sent may influence authoritative state (the known/roster "
+            "stores, membership proposals, subscription sets, reputation) "
+            "or be dispatched to a handler until its envelope has passed "
+            "signature verification.  The rule seeds taint at the receive "
+            "entry points (message-typed parameters of on_message/receive/"
+            "deliver and wire-decode results) and propagates it through "
+            "assignments, attribute chains and exact call edges to a "
+            "fixpoint; a verification call (_verify_envelope, "
+            "signer.verify, verify_route, a verifiable-PRNG draw, or any "
+            "function carrying the `# repro-taint: sanitizer` marker) "
+            "kills the taint for everything after it.  Unlike the "
+            "syntactic F/R rules this survives refactors that move "
+            "dispatch away from verification — the violation message "
+            "carries the full interprocedural witness path.  By-name call "
+            "edges neither propagate taint nor grant sanitizer credit "
+            "(the R501 evidence convention)."
+        ),
+        scope="src/repro/{core,game} sinks (whole-program propagation)",
+        examples=(
+            "flags:  on_message -> _dispatch_message -> _on_state_update "
+            "with the _verify_envelope call deleted",
+            "ok:     accepted = self._verify_envelope(src, message) "
+            "before dispatch",
+        ),
+    ),
+    RuleInfo(
+        rule="S702",
+        summary="secret key material flows to a send/encode sink",
+        rationale=(
+            "HMAC keys, the registry master seed and Schnorr secrets exist "
+            "only to sign; any flow into a transmit primitive, the wire "
+            "codec, or a message constructor field hands impersonation "
+            "ability to every subscriber.  Taint enters at key_for() "
+            "results and secret-attribute reads (.secret, .master_seed, "
+            "._keys), survives derivation (bytes arithmetic, f-strings, "
+            "container packing), and is cleared only by sign() — whose "
+            "output is a MAC, deliberately one-way.  The crypto package "
+            "itself is exempt: touching key material is its job; the rule "
+            "polices everyone it lends keys to."
+        ),
+        scope="everything outside repro.crypto (whole-program propagation)",
+        examples=(
+            "flags:  self._transmit(DebugBlob(data=self.signer.registry"
+            ".key_for(pid)), dst)",
+            "ok:     envelope = self.signer.sign(self.player_id, message)",
+        ),
+    ),
+    RuleInfo(
+        rule="S703",
+        summary="exact state reaches a reduced-resolution payload via dataflow",
+        rationale=(
+            "F402 checks the constructor expression syntactically; S703 "
+            "generalizes it to dataflow: an AvatarSnapshot-typed value (or "
+            "a read from the known store / a .snapshot field) is tracked "
+            "through locals, tuples and exact call edges, and flagged if "
+            "it lands in PositionUpdate.snapshot or "
+            "GuidanceMessage.prediction unreduced.  Resolution reducers "
+            "(position_only, predict_linear, simulate_guidance, quantize) "
+            "clean their result, as does any component read "
+            "(snapshot.position) — extracting a field IS the reduction.  "
+            "This catches the helper-indirection case F402 cannot: "
+            "build(s) -> PositionUpdate(snapshot=s) called with a raw "
+            "snapshot."
+        ),
+        scope="src/repro/{core,game} sinks (whole-program propagation)",
+        examples=(
+            "flags:  def fan_out(s: AvatarSnapshot): return "
+            "PositionUpdate(..., snapshot=s)",
+            "ok:     PositionUpdate(..., snapshot=snapshot.position_only())",
         ),
     ),
     RuleInfo(

@@ -8,6 +8,7 @@ import pytest
 
 from repro.lint.callgraph import (
     ParsedModule,
+    bind_arguments,
     build_call_graph,
     module_name_for,
 )
@@ -161,3 +162,133 @@ class TestRealTree:
         unfiltered = "repro.core.node.WatchmenNode._transmit_unfiltered"
         assert transmit in graph.functions
         assert unfiltered in graph.exact_callees(transmit)
+
+
+class TestCallSites:
+    def test_sites_keep_the_ast_node_and_resolution_split(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def helper(x):\n    return x\n"
+                "def run():\n    helper(1)\n",
+            )
+        )
+        sites = graph.call_sites("repro.demo.run")
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.caller == "repro.demo.run"
+        assert site.line == 4
+        assert isinstance(site.call, ast.Call)
+        assert site.exact == frozenset({"repro.demo.helper"})
+        assert site.by_name == frozenset()
+
+    def test_unknown_receiver_lands_on_the_by_name_tier(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "class Signer:\n"
+                "    def verify(self, data):\n        return True\n"
+                "class Node:\n"
+                "    def check(self, data):\n"
+                "        return self.signer.verify(data)\n",
+            )
+        )
+        (site,) = graph.call_sites("repro.demo.Node.check")
+        assert site.exact == frozenset()
+        assert site.by_name == frozenset({"repro.demo.Signer.verify"})
+
+
+class TestReceiverTypes:
+    SOURCE = (
+        "class Signer:\n"
+        "    def verify(self, data):\n        return True\n"
+        "class Node:\n"
+        "    def __init__(self, signer: Signer):\n"
+        "        self.signer = signer\n"
+        "    def check(self, data):\n"
+        "        return self.signer.verify(data)\n"
+    )
+
+    def test_annotated_init_attribute_resolves_exact(self):
+        graph = graph_of(("repro.demo", self.SOURCE))
+        (site,) = graph.call_sites("repro.demo.Node.check")
+        assert site.exact == frozenset({"repro.demo.Signer.verify"})
+        assert site.by_name == frozenset()
+
+    def test_direct_construction_types_the_attribute(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "class Signer:\n"
+                "    def verify(self, data):\n        return True\n"
+                "class Node:\n"
+                "    def __init__(self):\n"
+                "        self.signer = Signer()\n"
+                "    def check(self, data):\n"
+                "        return self.signer.verify(data)\n",
+            )
+        )
+        (site,) = graph.call_sites("repro.demo.Node.check")
+        assert site.exact == frozenset({"repro.demo.Signer.verify"})
+
+
+class TestClassesIn:
+    def test_lists_top_level_classes(self):
+        graph = graph_of(
+            (
+                "repro.core.messages",
+                "class StateUpdate:\n    pass\n"
+                "class PositionUpdate:\n    pass\n"
+                "def helper():\n    pass\n",
+            )
+        )
+        assert graph.classes_in("repro.core.messages") == frozenset(
+            {"StateUpdate", "PositionUpdate"}
+        )
+        assert graph.classes_in("repro.unknown") == frozenset()
+
+
+class TestBindArguments:
+    def test_positional_and_keyword_binding(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, b, c=None):\n    pass\n"
+                "def caller():\n    callee(1, c=2, b=3)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a", "b", "c"}
+        assert ast.literal_eval(bound["a"]) == 1
+        assert ast.literal_eval(bound["b"]) == 3
+        assert ast.literal_eval(bound["c"]) == 2
+
+    def test_self_is_skipped_for_methods(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "class Node:\n"
+                "    def callee(self, payload):\n        pass\n"
+                "    def caller(self):\n        self.callee(41)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.Node.callee"]
+        (site,) = graph.call_sites("repro.demo.Node.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"payload"}
+        assert ast.literal_eval(bound["payload"]) == 41
+
+    def test_binding_stops_at_starred_arguments(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, b):\n    pass\n"
+                "def caller(rest):\n    callee(1, *rest)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a"}

@@ -168,18 +168,23 @@ class TestJsonArtifact:
         assert lint_main(["--root", str(tmp_path), "--json", str(artifact)]) == 1
         data = json.loads(artifact.read_text())
         assert data["schema"] == "repro.bench.v1"
-        (row,) = data["rows"]
-        assert row["bench"] == "lint"
-        metrics = row["metrics"]
+        rows = {row["bench"]: row for row in data["rows"]}
+        assert set(rows) == {"lint", "lint_wall"}
+        metrics = rows["lint"]["metrics"]
         assert metrics["violations.total"] == metrics["violations.D"] + metrics[
             "violations.P"
         ] + metrics["violations.T"]
         assert metrics["violations.D102"] == 1.0
         assert metrics["files.scanned"] >= 1.0
         # Whole-program families report even when zero, plus wall time.
-        for family in ("C", "F", "R"):
+        for family in ("C", "F", "R", "S"):
             assert metrics[f"violations.{family}"] == 0.0
         assert metrics["wall_seconds"] > 0.0
+        # The analyzer-cost row CI diffs against the committed baseline.
+        cost = rows["lint_wall"]["metrics"]
+        assert cost["wall_seconds"] == metrics["wall_seconds"]
+        assert cost["functions_analyzed"] >= 1.0
+        assert cost["fixpoint_iterations"] >= cost["functions_analyzed"]
 
     def test_json_to_stdout(self, tmp_path, capsys):
         make_repo(tmp_path)
