@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fast lint lint-fix precheck bench chaos tapes replay-verify
+.PHONY: test fast lint lint-fix precheck bench chaos tapes replay-verify \
+	model-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +48,19 @@ tapes:
 # on the first divergent frame.
 replay-verify:
 	$(PYTHON) -m repro tape verify tests/tapes/*.tape
+
+# The protocol race detector (docs/MODEL_CHECKING.md): exhaustive
+# bounded exploration of the scenario matrix gated on its invariants and
+# on the committed `mc` baseline row, then the mutation self-test that
+# proves the gate can fail.
+model-check:
+	$(PYTHON) -m repro lint --footprints footprints.json \
+		&& $(PYTHON) -m repro mc --footprints footprints.json \
+			--require-complete --counterexample-dir artifacts/mc \
+			--json mc-report.json \
+		&& $(PYTHON) -m repro bench-diff benchmarks/baseline.json \
+			mc-report.json \
+		&& $(PYTHON) scripts/mc_mutation_selftest.py
 
 # The fault-injection matrix with its SLO gates plus the bench-diff
 # regression gate against the committed chaos baseline rows.

@@ -58,6 +58,7 @@ from repro.core import WatchmenSession
 from repro.core.config import PROXY_PERIOD_FRAMES
 from repro.faults.chaos import run_chaos
 from repro.lint.cli import add_lint_arguments, cmd_lint
+from repro.mc.cli import add_mc_arguments, cmd_mc
 from repro.replay.cli import add_tape_arguments, cmd_tape
 from repro.game import GameTrace, generate_trace, make_corridors, make_longest_yard
 from repro.net.latency import LatencyMatrix, king_like, peerwise_like, uniform_lan
@@ -175,6 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(exit 1 on divergence, 2 on usage problems)",
     )
     add_tape_arguments(tape)
+
+    mc = sub.add_parser(
+        "mc",
+        help="bounded interleaving model checker: explore delivery "
+        "schedules of small protocol scenarios; exit 1 on an invariant "
+        "violation (counterexample written as a verifiable tape)",
+    )
+    add_mc_arguments(mc)
 
     chaos = sub.add_parser(
         "chaos",
@@ -464,6 +473,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-diff": cmd_bench_diff,
         "lint": cmd_lint,
         "tape": cmd_tape,
+        "mc": cmd_mc,
         "chaos": cmd_chaos,
     }
     return handlers[args.command](args)

@@ -44,6 +44,7 @@ __all__ = [
     "ACK_RETRY_BASE_FRAMES",
     "ACK_RETRY_MAX_BACKOFF_FRAMES",
     "ACK_RETRY_MAX_ATTEMPTS",
+    "MEMBERSHIP_SILENCE_FRAMES",
     "STALE_VIEW_AGE_FRAMES",
     "WatchmenConfig",
 ]
@@ -105,6 +106,12 @@ ACK_RETRY_MAX_BACKOFF_FRAMES: Final[int] = 32
 
 #: ... and abandoned after this many retransmissions.
 ACK_RETRY_MAX_ATTEMPTS: Final[int] = 4
+
+#: Membership silence threshold: a peer unheard-from for this many frames
+#: becomes eligible for a removal proposal (three 1 Hz heartbeat periods;
+#: Section VI).  Must sit above PROXY_SILENCE_THRESHOLD_FRAMES so client
+#: failover always precedes eviction.
+MEMBERSHIP_SILENCE_FRAMES: Final[int] = 60
 
 #: A remote view older than two 1 Hz heartbeat periods cannot be explained
 #: by the dissemination tiers — the publisher's path is black-holed.  The
@@ -175,6 +182,10 @@ class WatchmenConfig:
     ack_retry_base_frames: int = ACK_RETRY_BASE_FRAMES
     ack_retry_max_backoff_frames: int = ACK_RETRY_MAX_BACKOFF_FRAMES
     ack_retry_max_attempts: int = ACK_RETRY_MAX_ATTEMPTS
+    #: Frames of silence before a peer may be proposed for removal.  The
+    #: model checker shrinks this (together with ``proxy_period_frames``)
+    #: so eviction rounds fit inside a bounded-exploration horizon.
+    membership_silence_frames: int = MEMBERSHIP_SILENCE_FRAMES
     #: While under a removal challenge a live player heartbeats directly
     #: to the roster (bypassing its possibly-dead proxy) at this cadence.
     #: Always on: it costs nothing until someone is actually accused.
@@ -226,6 +237,11 @@ class WatchmenConfig:
             raise ValueError("ack_retry_max_backoff_frames below the base delay")
         if self.ack_retry_max_attempts < 0:
             raise ValueError("ack_retry_max_attempts must be non-negative")
+        if self.membership_silence_frames <= self.proxy_silence_threshold_frames:
+            raise ValueError(
+                "membership_silence_frames must exceed the proxy silence "
+                "threshold so failover precedes eviction"
+            )
 
     def epoch_of_frame(self, frame: int) -> int:
         """The proxy epoch a frame belongs to."""

@@ -284,7 +284,10 @@ class WatchmenNode:
         self.kill_verifier = KillVerifier(game_map, projectiles=self.projectiles)
         self.subscription_verifier = SubscriptionVerifier(game_map, config.interest)
 
-        self.membership = MembershipView(list(self.roster))
+        self.membership = MembershipView(
+            list(self.roster),
+            silence_threshold_frames=config.membership_silence_frames,
+        )
         self.known: dict[int, AvatarSnapshot] = {}
         #: Optional oracle over the player's *own* upcoming movement
         #: (his input intentions).  The paper's guidance messages carry
@@ -943,6 +946,11 @@ class WatchmenNode:
                 if destination != self.player_id:
                     self._transmit(proposal, destination)
 
+    # repro-mc: commutes[membership] -- record_proposal is a set-insert
+    # keyed by (proposer, subject); every delivery in one frame sees the
+    # same frame/epoch, so the quorum trip point and the scheduled
+    # removal epoch are order-independent within a flush (cross-frame
+    # races are the defer decisions the model checker keeps exploring)
     def _on_removal_proposal(self, message: RemovalProposal) -> None:
         if message.subject_id == self.player_id:
             # The roster suspects *me*.  My heartbeats all route through
@@ -1168,6 +1176,7 @@ class WatchmenNode:
 
     # -- state updates ----------------------------------------------------
 
+    # repro-mc: commutes[known] -- per-sender LWW merge, frame-stamp guarded
     def _on_state_update(self, src: int, update: StateUpdate) -> None:
         sender = update.sender_id
         if sender == self.player_id:
@@ -1273,6 +1282,7 @@ class WatchmenNode:
 
     # -- guidance ------------------------------------------------------------
 
+    # repro-mc: commutes[known] -- per-sender LWW merge, frame-stamp guarded
     def _on_guidance(self, src: int, message: GuidanceMessage) -> None:
         sender = message.sender_id
         if sender == self.player_id:
@@ -1298,6 +1308,7 @@ class WatchmenNode:
 
     # -- infrequent position updates ---------------------------------------
 
+    # repro-mc: commutes[known] -- per-sender LWW merge, frame-stamp guarded
     def _on_position_update(self, src: int, message: PositionUpdate) -> None:
         sender = message.sender_id
         if sender == self.player_id:
@@ -1359,6 +1370,8 @@ class WatchmenNode:
 
     # -- subscriptions ----------------------------------------------------------
 
+    # repro-mc: commutes[table] -- expiry-refresh inserts; IS-supersedes-VS
+    # resolves the same way in either order
     def _on_subscription(self, src: int, request: SubscriptionRequest) -> None:
         sender = request.sender_id
         if request.target_id == sender:
@@ -1524,6 +1537,8 @@ class WatchmenNode:
 
     # -- handoff -------------------------------------------------------------------
 
+    # repro-mc: commutes[known, table] -- frame-guarded snapshot merge plus
+    # the same expiry-refresh table inserts as _on_subscription
     def _on_handoff(self, message: HandoffMessage) -> None:
         client_id = message.player_id
         try:

@@ -5,7 +5,8 @@ Exit codes mirror ``repro bench-diff``: 0 clean, 1 new violations,
 
 ``--changed-only`` keeps the pre-commit loop fast as whole-program passes
 accumulate: the per-file families (D/T) scan only files that differ from
-``origin/main`` (plus untracked files), while the cross-file and
+``git merge-base HEAD origin/main`` (plus untracked files) — the fork
+point, so upstream churn never widens the scan — while the cross-file and
 whole-program families (P, F/R/C/S) still analyze the full tree — a call
 graph over a subset would miss edges and lie.  When nothing under
 ``src/repro`` changed at all, the run short-circuits clean.  Fallback
@@ -93,9 +94,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--changed-only",
         action="store_true",
         dest="changed_only",
-        help="scan only files changed vs origin/main (whole-program "
-        "families still analyze the full tree); falls back to a full "
-        "scan outside a git repo",
+        help="scan only files changed since the merge-base with "
+        "origin/main (whole-program families still analyze the full "
+        "tree); falls back to a full scan outside a git repo",
+    )
+    parser.add_argument(
+        "--footprints",
+        metavar="PATH",
+        help="export the M-family handler footprint table as JSON "
+        "('-' for stdout); the model checker seeds its partial-order "
+        "reduction from this table",
     )
 
 
@@ -187,19 +195,24 @@ def _git_lines(root: Path, *args: str) -> list[str] | None:
 
 
 def changed_paths(root: Path) -> list[Path] | None:
-    """Files under ``src/repro`` that differ from ``origin/main``.
+    """Files under ``src/repro`` that this branch touched.
 
     Returns None when the diff cannot be computed (not a git work tree,
     or ``origin/main`` unknown) — the caller falls back to a full scan.
-    The list combines ``git diff --name-only origin/main`` (committed,
+    The diff base is ``git merge-base HEAD origin/main``, not
+    ``origin/main`` itself: diffing against the remote tip would count
+    every file *other people* changed upstream since this branch forked,
+    turning the fast pre-commit loop into a near-full scan on any busy
+    repo.  The list combines ``git diff --name-only <base>`` (committed,
     staged and unstaged edits) with untracked files, so a brand-new
     module is linted before its first ``git add``.
     """
     if _git_lines(root, "rev-parse", "--is-inside-work-tree") is None:
         return None
-    if _git_lines(root, "rev-parse", "--verify", "--quiet", "origin/main") is None:
+    base_lines = _git_lines(root, "merge-base", "HEAD", "origin/main")
+    if not base_lines:
         return None
-    diffed = _git_lines(root, "diff", "--name-only", "origin/main")
+    diffed = _git_lines(root, "diff", "--name-only", base_lines[0])
     if diffed is None:
         return None
     untracked = (
@@ -354,6 +367,24 @@ def cmd_lint(args: argparse.Namespace) -> int:
             f"-> {target}"
         )
         return 0
+
+    if getattr(args, "footprints", None):
+        import json
+
+        if report.footprints is None:
+            print(
+                "repro lint: no footprint table was produced (whole-program "
+                "pass did not run)",
+                file=sys.stderr,
+            )
+            return 2
+        payload = json.dumps(
+            report.footprints.to_json(), indent=2, sort_keys=True
+        )
+        if args.footprints == "-":
+            print(payload)
+        else:
+            Path(args.footprints).write_text(payload + "\n", encoding="utf-8")
 
     if args.json:
         _write_json_artifact(report, args.json, wall_seconds=wall_seconds)

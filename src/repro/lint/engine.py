@@ -12,7 +12,7 @@ Rule scoping:
   CLI legitimately read wall clocks.
 * **P rules** run once per invocation over the messages/node/wire triple
   (paths configurable so tests can lint synthetic fixture trees).
-* **F/R/C/S rules** are whole-program: regardless of which paths were
+* **F/R/C/S/M rules** are whole-program: regardless of which paths were
   requested, they analyze everything under ``<root>/src/repro`` (a call
   graph over a file subset would miss edges and lie; the S-family taint
   fixpoint additionally needs every exact call edge).  Every file is
@@ -38,6 +38,7 @@ from repro.lint.callgraph import ParsedModule, build_call_graph, module_name_for
 from repro.lint.configdrift import run_configdrift_rules
 from repro.lint.determinism import DETERMINISTIC_PACKAGES, run_determinism_rules
 from repro.lint.flow import run_flow_rules
+from repro.lint.footprint import FootprintTable, run_footprint_rules
 from repro.lint.protocol import ProtocolSources, run_protocol_rules
 from repro.lint.routing import run_routing_rules
 from repro.lint.taint import TaintStats, run_taint_rules
@@ -88,6 +89,10 @@ class LintReport:
     #: effort counters from the interprocedural taint pass (S rules),
     #: surfaced as the `lint_wall` bench row so CI can gate lint cost
     taint_stats: TaintStats = TaintStats(functions_analyzed=0, fixpoint_iterations=0)
+    #: the M-family handler-footprint table (None when the whole-program
+    #: pass did not run); exported via `repro lint --footprints` and
+    #: consumed by the repro.mc partial-order reduction
+    footprints: FootprintTable | None = None
 
     def counts_by_rule(self) -> dict[str, int]:
         return dict(Counter(v.rule for v in self.violations))
@@ -287,7 +292,7 @@ def _run_whole_program(
     lines_by_rel: dict[str, list[str]],
     report: LintReport,
 ) -> list[Violation]:
-    """F/R/C/S families over the full ``<root>/src/repro`` tree."""
+    """F/R/C/S/M families over the full ``<root>/src/repro`` tree."""
     program_root = config.program_root()
     if not program_root.is_dir():
         return []
@@ -309,6 +314,10 @@ def _run_whole_program(
     found.extend(run_routing_rules(graph, lines_by_rel))
     taint_violations, report.taint_stats = run_taint_rules(graph, lines_by_rel)
     found.extend(taint_violations)
+    footprint_violations, report.footprints = run_footprint_rules(
+        graph, lines_by_rel, trees_by_rel
+    )
+    found.extend(footprint_violations)
     found.extend(
         run_configdrift_rules(
             trees_by_rel,

@@ -23,6 +23,13 @@ in three families:
   reduced before entering a low-resolution tier.
 * **C (config drift)** — paper constants are imported from
   ``core/config.py``, never re-stated as literals.
+* **M (message footprints)** — whole-program extraction of each
+  ``_on_*``/``_handle_*`` handler's footprint (consumed/emitted message
+  types, authoritative-store writes): registered types must have a
+  reachable handler, progress-bearing emissions must be ackable, and
+  handler pairs racing on one store need a reviewed commutativity
+  annotation; the table seeds the ``repro.mc`` model checker's
+  partial-order reduction.
 """
 
 from __future__ import annotations
@@ -411,6 +418,72 @@ _CATALOG_ENTRIES = (
             "flags:  def fan_out(s: AvatarSnapshot): return "
             "PositionUpdate(..., snapshot=s)",
             "ok:     PositionUpdate(..., snapshot=snapshot.position_only())",
+        ),
+    ),
+    RuleInfo(
+        rule="M801",
+        summary="registered message type with no reachable handler",
+        rationale=(
+            "Every name in wire.MESSAGE_TYPES is decodable off the wire, so "
+            "every name must also be consumed by an _on_*/_handle_* handler "
+            "reachable (along exact call edges) from a receive entry point "
+            "(on_message/receive/deliver/handle_datagram).  A type without "
+            "one decodes fine and then falls through the dispatch chain's "
+            "isinstance ladder — a silently dropped protocol message, the "
+            "runtime twin of P202's missing-dispatch check.  Handlers are "
+            "matched by their message-typed parameter annotation, so "
+            "renaming a handler without updating the dispatch keeps "
+            "flagging."
+        ),
+        scope="whole program (registry x handler footprints)",
+        examples=(
+            "flags:  MESSAGE_TYPES = {..., 'Ping': Ping}  # no _on_ping",
+            "ok:     def _on_ping(self, msg: Ping) -> None: ...",
+        ),
+    ),
+    RuleInfo(
+        rule="M802",
+        summary="progress-bearing message emitted outside ACKABLE_TYPES",
+        rationale=(
+            "A message type whose handler writes membership, subscriber-"
+            "table or reputation state advances the protocol: losing one "
+            "such datagram stalls an eviction round, orphans a "
+            "subscription, or drops a kill judgement, and nothing "
+            "re-sends it organically.  The ack/retry layer exists for "
+            "exactly these low-rate critical messages, so any handler "
+            "emitting such a type that is absent from ACKABLE_TYPES is "
+            "relying on a lossless network.  Periodic state (known/"
+            "recency/projectiles) is exempt — the next heartbeat repairs "
+            "it, which is why StateUpdate stays fire-and-forget per the "
+            "paper."
+        ),
+        scope="whole program (handler emissions x ACKABLE_TYPES)",
+        examples=(
+            "flags:  handler emits RemovalProposal; ACKABLE_TYPES omits it",
+            "ok:     ACKABLE_TYPES = (..., RemovalProposal, ...)",
+        ),
+    ),
+    RuleInfo(
+        rule="M803",
+        summary="two handlers race on one authoritative store, unannotated",
+        rationale=(
+            "When two handlers write the same authoritative store "
+            "(membership, subscriber table, known, recency, reputation, "
+            "projectiles), the node's state depends on their delivery "
+            "order — precisely the nondeterminism a real (non-simulated) "
+            "transport will introduce.  Each such pair must either be "
+            "reviewed as order-insensitive (last-writer-wins keyed by "
+            "frame stamp, idempotent mutation) and annotated with "
+            "`# repro-mc: commutes[store]` on both def lines, or be "
+            "covered by a repro.mc interleaving scenario.  The annotation "
+            "also feeds the model checker's partial-order reduction: "
+            "annotated pairs are not permuted, which is what keeps "
+            "exhaustive exploration tractable."
+        ),
+        scope="whole program (handler write-sets)",
+        examples=(
+            "flags:  _on_a and _on_b both write self.known, no marker",
+            "ok:     # repro-mc: commutes[known]  (on both def lines)",
         ),
     ),
     RuleInfo(

@@ -1,0 +1,44 @@
+"""``repro.mc`` — bounded interleaving model checker for the protocol.
+
+Two layers cooperate here.  The *static* layer is the M-family of lint
+rules (:mod:`repro.lint.footprint`): it walks every message handler with
+the whole-program call graph and extracts a footprint — which message
+types the handler consumes and emits, and which authoritative stores it
+writes.  The *dynamic* layer is this package: a
+:class:`~repro.mc.controller.McController` hooks the transport so the
+delivery order of a few controlled message types becomes an explicit
+decision point, and the :class:`~repro.mc.explorer.Explorer` enumerates
+every bounded interleaving (plus budgeted drop/duplicate/defer faults) of
+small scenarios, checking protocol safety invariants at quiescence.  The
+footprint table seeds the explorer's partial-order reduction: deliveries
+whose write-sets cannot conflict are never reordered against each other.
+
+Violations are delta-debug-minimized and written as ordinary
+``repro.tape.v1`` counterexamples whose scenario carries the ``mc``
+envelope, so ``repro tape verify`` replays the exact losing interleaving.
+Entry point: ``repro mc`` (see :mod:`repro.mc.cli`).
+"""
+
+from repro.mc.controller import Action, McController, McDecision
+from repro.mc.explorer import (
+    ExploreReport,
+    Explorer,
+    explore_scenario,
+    write_counterexample,
+)
+from repro.mc.invariants import INVARIANTS
+from repro.mc.scenarios import SCENARIOS, McScenario, scenario_by_name
+
+__all__ = [
+    "Action",
+    "ExploreReport",
+    "Explorer",
+    "INVARIANTS",
+    "McController",
+    "McDecision",
+    "McScenario",
+    "SCENARIOS",
+    "explore_scenario",
+    "scenario_by_name",
+    "write_counterexample",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.mc`` — standalone model-checker entry point."""
+
+import sys
+
+from repro.mc.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

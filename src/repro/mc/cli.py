@@ -1,0 +1,203 @@
+"""``repro mc`` / ``python -m repro.mc`` — the model checker's front end.
+
+Runs the bounded interleaving exploration over the scenario matrix (or a
+named subset), seeding partial-order reduction from the M-family
+footprint table — recomputed in-process by default, or loaded from a
+``repro lint --footprints`` export with ``--footprints``.
+
+Exit codes mirror ``repro lint``: 0 every explored scenario holds its
+invariants, 1 a violation was found (the minimized counterexample tape
+lands in ``--counterexample-dir``) or ``--require-complete`` was set and
+a scenario exhausted its execution budget before covering the space,
+2 usage errors (unknown scenario, unreadable footprint file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.mc.explorer import (
+    ExploreReport,
+    explore_scenario,
+    load_footprints,
+    render_report,
+    summary_json,
+)
+from repro.mc.scenarios import SCENARIOS, scenario_by_name
+
+__all__ = ["add_mc_arguments", "build_parser", "cmd_mc", "main"]
+
+
+def add_mc_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared between the standalone parser and the ``repro`` subcommand."""
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        help="scenario names to explore (default: the full matrix)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the scenario matrix with descriptions and exit",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (footprint extraction scans src/repro under it)",
+    )
+    parser.add_argument(
+        "--footprints",
+        metavar="PATH",
+        help="load the footprint table from a `repro lint --footprints` "
+        "export instead of recomputing it",
+    )
+    parser.add_argument(
+        "--max-executions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every scenario's execution budget",
+    )
+    parser.add_argument(
+        "--counterexample-dir",
+        default="artifacts/mc",
+        metavar="DIR",
+        help="where minimized counterexample tapes are written "
+        "(default: artifacts/mc; created only on violation)",
+    )
+    parser.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="exit 1 if any scenario exhausts its execution budget before "
+        "exploring the whole schedule space (CI's coverage gate)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write exploration counts as a repro.bench.v1 artifact "
+        "('-' for stdout)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro mc",
+        description="bounded interleaving model checker with tape "
+        "counterexamples",
+    )
+    add_mc_arguments(parser)
+    return parser
+
+
+def _list_scenarios() -> int:
+    for scenario in SCENARIOS:
+        controlled = ", ".join(scenario.controlled)
+        print(f"{scenario.name:<22} {scenario.description}")
+        print(
+            f"{'':<22} controls [{controlled}] in frames "
+            f"[{scenario.window[0]}, {scenario.window[1]}); "
+            f"invariants: {', '.join(scenario.invariants)}"
+        )
+    return 0
+
+
+def _write_json_artifact(
+    reports: list[ExploreReport], path: str, wall_seconds: float
+) -> None:
+    from repro.obs.emit import bench_row, write_bench_json
+
+    # One gated row: states/executions are deterministic for a fixed tree
+    # (bench-diff catches a POR regression silently re-inflating the
+    # space), wall_seconds is the machine-dependent cost signal.
+    metrics: dict[str, float] = {
+        "mc_states_explored": float(sum(r.states_explored for r in reports)),
+        "executions": float(sum(r.executions for r in reports)),
+        "pruned": float(sum(r.pruned for r in reports)),
+        "violations": float(sum(0 if r.ok else 1 for r in reports)),
+        "wall_seconds": wall_seconds,
+    }
+    rows = [bench_row(bench="mc", params={}, metrics=metrics)]
+    if path == "-":
+        print(
+            json.dumps(
+                {"schema": "repro.bench.v1", "rows": rows},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        write_bench_json(path, rows)
+
+
+def cmd_mc(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        return _list_scenarios()
+
+    try:
+        selected = (
+            [scenario_by_name(name) for name in args.scenarios]
+            if args.scenarios
+            else list(SCENARIOS)
+        )
+    except ValueError as error:
+        print(f"repro mc: {error}", file=sys.stderr)
+        return 2
+
+    footprints: Mapping[str, Any]
+    if args.footprints:
+        try:
+            footprints = json.loads(
+                Path(args.footprints).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError) as error:
+            print(
+                f"repro mc: cannot load footprints from "
+                f"{args.footprints}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        footprints = load_footprints(Path(args.root))
+
+    started = time.perf_counter()
+    reports: list[ExploreReport] = []
+    for scenario in selected:
+        report = explore_scenario(
+            scenario,
+            footprints=footprints,
+            max_executions=args.max_executions,
+            counterexample_dir=Path(args.counterexample_dir),
+        )
+        reports.append(report)
+        print(render_report(report))
+    wall_seconds = time.perf_counter() - started
+
+    if args.json:
+        _write_json_artifact(reports, args.json, wall_seconds)
+
+    summary = summary_json(reports)
+    if not summary["ok"]:
+        return 1
+    if args.require_complete and not summary["complete"]:
+        incomplete = ", ".join(r.scenario for r in reports if not r.complete)
+        print(
+            f"repro mc: exploration incomplete within budget: {incomplete}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return cmd_mc(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""Bounded exhaustive exploration of delivery schedules.
+
+The explorer enumerates the decision tree the
+:class:`~repro.mc.controller.McController` exposes: each execution runs
+the scenario under a *schedule prefix* (the controller follows the
+prefix, then the default deliver-first policy), and every decision point
+past the prefix spawns branches for each alternative enabled action.
+Because the session is fully deterministic for a fixed prefix, the tree
+is well defined and a depth-first walk with a seen-prefix set visits
+every reachable schedule exactly once.
+
+Partial-order reduction: an alternative ``("deliver", m2)`` at a point
+whose chosen action was ``("deliver", m1)`` is pruned when the two
+deliveries are *independent* — different destination nodes, or same
+destination but non-conflicting handler write-sets per the M-family
+footprint table (a store conflicts only if some writer is not annotated
+``repro-mc: commutes``).  Swapping independent deliveries commutes, so
+the unexplored branch reaches a state the explored order also reaches.
+Deliveries whose handlers can transitively *emit* a controlled type are
+never treated as independent: delivering them changes the future
+decision space itself.  Drop/dup/defer alternatives are never pruned.
+
+A violating execution is minimized before reporting: first the shortest
+violating schedule prefix, then greedy deletion of remaining decisions —
+each candidate re-executed, so the final schedule is a true
+counterexample, not a guess.  :func:`write_counterexample` records it as
+an ordinary ``repro.tape.v1`` artifact whose scenario carries the ``mc``
+envelope; ``repro tape verify`` replays the identical interleaving.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.game.trace import GameTrace
+from repro.mc.controller import Action, McController, McDecision
+from repro.mc.invariants import INVARIANTS
+from repro.mc.scenarios import McScenario
+from repro.replay.recorder import TapeRecorder
+from repro.replay.tape import Tape, write_tape
+
+__all__ = [
+    "ExecutionOutcome",
+    "ExploreReport",
+    "Explorer",
+    "explore_scenario",
+    "independence_from_footprints",
+    "load_footprints",
+    "render_report",
+    "summary_json",
+    "write_counterexample",
+]
+
+
+def load_footprints(root: Path) -> dict[str, Any]:
+    """Run the M-family extraction over ``root`` and return its JSON form.
+
+    The same table ``repro lint --footprints`` exports; loading it from a
+    file (CI caches it between jobs) and recomputing it here are
+    interchangeable.
+    """
+    from repro.lint.engine import LintConfig, run_lint
+
+    report = run_lint(LintConfig(root=root))
+    if report.footprints is None:
+        raise RuntimeError("lint pass produced no footprint table")
+    return report.footprints.to_json()
+
+
+def independence_from_footprints(
+    footprints: Mapping[str, Any],
+) -> tuple[dict[str, dict[str, Any]], dict[str, frozenset[str]]]:
+    """(per-type write/commute sets, per-type transitive emits)."""
+    by_type: dict[str, dict[str, Any]] = dict(footprints.get("by_type", {}))
+    emits: dict[str, set[str]] = {}
+    for handler in footprints.get("handlers", {}).values():
+        for consumed in handler.get("consumes", ()):
+            emits.setdefault(consumed, set()).update(handler.get("emits", ()))
+    return by_type, {name: frozenset(types) for name, types in emits.items()}
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """One deterministic run under one schedule prefix."""
+
+    choices: tuple[Action, ...]
+    decisions: tuple[McDecision, ...]
+    meta: Mapping[int, tuple[int, int, str]]
+    violation: str | None
+    invariant: str | None
+    controller_stats: Mapping[str, int]
+
+
+@dataclass
+class ExploreReport:
+    """What one bounded exploration established."""
+
+    scenario: str
+    executions: int = 0
+    states_explored: int = 0
+    pruned: int = 0
+    complete: bool = True
+    violation: str | None = None
+    invariant: str | None = None
+    schedule: tuple[Action, ...] | None = None
+    tape_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "executions": self.executions,
+            "states_explored": self.states_explored,
+            "pruned": self.pruned,
+            "complete": self.complete,
+            "ok": self.ok,
+            "violation": self.violation,
+            "invariant": self.invariant,
+            "schedule": (
+                [list(action) for action in self.schedule]
+                if self.schedule is not None
+                else None
+            ),
+            "tape_path": self.tape_path,
+        }
+
+
+@dataclass
+class Explorer:
+    """Depth-first schedule enumeration for one scenario."""
+
+    scenario: McScenario
+    footprints: Mapping[str, Any] | None = None
+    max_executions: int | None = None
+    _trace: GameTrace | None = field(default=None, repr=False)
+    _by_type: dict[str, dict[str, Any]] = field(default_factory=dict, repr=False)
+    _emits: dict[str, frozenset[str]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.footprints is not None:
+            self._by_type, self._emits = independence_from_footprints(
+                self.footprints
+            )
+
+    # ---- single execution ------------------------------------------------
+
+    def _shared_trace(self) -> GameTrace:
+        """The deathmatch is schedule-independent: simulate it once."""
+        if self._trace is None:
+            self._trace = self.scenario.base.make_trace()
+        return self._trace
+
+    def execute(self, schedule: tuple[Action, ...]) -> ExecutionOutcome:
+        tape_scenario = self.scenario.tape_scenario(schedule)
+        session = tape_scenario.make_session(
+            self._shared_trace(), faults=self.scenario.faults
+        )
+        controller = session.network.controller
+        assert isinstance(controller, McController)
+        session.run()
+        violation: str | None = None
+        invariant: str | None = None
+        for name in self.scenario.invariants:
+            message = INVARIANTS[name](session)
+            if message is not None:
+                violation, invariant = message, name
+                break
+        return ExecutionOutcome(
+            choices=controller.choices(),
+            decisions=tuple(controller.decisions),
+            meta=dict(controller.meta),
+            violation=violation,
+            invariant=invariant,
+            controller_stats=controller.stats(),
+        )
+
+    # ---- partial-order reduction -----------------------------------------
+
+    def _independent(
+        self,
+        alt: Action,
+        chosen: Action,
+        meta: Mapping[int, tuple[int, int, str]],
+    ) -> bool:
+        if alt[0] != "deliver" or chosen[0] != "deliver":
+            return False
+        alt_meta = meta.get(alt[1])
+        chosen_meta = meta.get(chosen[1])
+        if alt_meta is None or chosen_meta is None:
+            return False  # unknown message: never prune
+        _, alt_dst, alt_type = alt_meta
+        _, chosen_dst, chosen_type = chosen_meta
+        controlled = self.scenario.controlled
+        for type_name in (alt_type, chosen_type):
+            if self._emits.get(type_name, frozenset()) & frozenset(controlled):
+                return False  # delivery may grow the decision space
+        if alt_dst != chosen_dst:
+            return True
+        alt_info = self._by_type.get(alt_type)
+        chosen_info = self._by_type.get(chosen_type)
+        if alt_info is None or chosen_info is None:
+            return False  # no footprint: conservatively dependent
+        shared = set(alt_info.get("writes", ())) & set(
+            chosen_info.get("writes", ())
+        )
+        for store in shared:
+            if store not in alt_info.get("commutes", ()) or store not in (
+                chosen_info.get("commutes", ())
+            ):
+                return False
+        return True
+
+    # ---- exploration -----------------------------------------------------
+
+    def run(self) -> ExploreReport:
+        budget = (
+            self.max_executions
+            if self.max_executions is not None
+            else self.scenario.max_executions
+        )
+        report = ExploreReport(scenario=self.scenario.name)
+        stack: list[tuple[Action, ...]] = [()]
+        seen: set[tuple[Action, ...]] = {()}
+        while stack:
+            if report.executions >= budget:
+                report.complete = False
+                break
+            prefix = stack.pop()
+            outcome = self.execute(prefix)
+            report.executions += 1
+            report.states_explored += len(outcome.decisions)
+            if outcome.violation is not None:
+                schedule = self._minimize(outcome.choices, report)
+                report.violation = outcome.violation
+                report.invariant = outcome.invariant
+                report.schedule = schedule
+                final = self.execute(schedule)
+                report.executions += 1
+                if final.violation is not None:
+                    report.violation = final.violation
+                    report.invariant = final.invariant
+                return report
+            for index in range(len(prefix), len(outcome.decisions)):
+                decision = outcome.decisions[index]
+                for alt in decision.enabled:
+                    if alt == decision.chosen:
+                        continue
+                    if self._independent(alt, decision.chosen, outcome.meta):
+                        report.pruned += 1
+                        continue
+                    branch = outcome.choices[:index] + (alt,)
+                    if branch not in seen:
+                        seen.add(branch)
+                        stack.append(branch)
+        return report
+
+    # ---- counterexample minimization -------------------------------------
+
+    def _minimize(
+        self, schedule: tuple[Action, ...], report: ExploreReport
+    ) -> tuple[Action, ...]:
+        """Shortest violating prefix, then greedy decision deletion.
+
+        Every candidate is re-executed, so whatever survives is a real
+        counterexample.  Minimization executions count against the same
+        report (they are honest work), but not against the exploration
+        budget — a found violation is always minimized.
+        """
+
+        def violates(candidate: tuple[Action, ...]) -> bool:
+            outcome = self.execute(candidate)
+            report.executions += 1
+            report.states_explored += len(outcome.decisions)
+            return outcome.violation is not None
+
+        best = schedule
+        for length in range(len(schedule) + 1):
+            candidate = schedule[:length]
+            if violates(candidate):
+                best = candidate
+                break
+        shrinking = True
+        while shrinking:
+            shrinking = False
+            for index in range(len(best)):
+                candidate = best[:index] + best[index + 1 :]
+                if violates(candidate):
+                    best = candidate
+                    shrinking = True
+                    break
+        return best
+
+
+def write_counterexample(
+    scenario: McScenario, schedule: tuple[Action, ...], path: Path
+) -> Tape:
+    """Record the violating schedule as a verifiable ``repro.tape.v1``."""
+    tape_scenario = scenario.tape_scenario(schedule)
+    game_map = tape_scenario.make_map()
+    trace = tape_scenario.make_trace(game_map)
+    session = tape_scenario.make_session(
+        trace, faults=scenario.faults, game_map=game_map
+    )
+    recorder = TapeRecorder(session, tape_scenario, faults=scenario.faults)
+    recorder.attach()
+    session.run()
+    tape = recorder.finalize()
+    write_tape(tape, path)
+    return tape
+
+
+def explore_scenario(
+    scenario: McScenario,
+    footprints: Mapping[str, Any] | None = None,
+    max_executions: int | None = None,
+    counterexample_dir: Path | None = None,
+) -> ExploreReport:
+    """Explore one scenario; persist a counterexample tape on violation."""
+    explorer = Explorer(
+        scenario, footprints=footprints, max_executions=max_executions
+    )
+    report = explorer.run()
+    if report.schedule is not None and counterexample_dir is not None:
+        counterexample_dir.mkdir(parents=True, exist_ok=True)
+        path = counterexample_dir / f"mc-{scenario.name}.tape"
+        write_counterexample(scenario, report.schedule, path)
+        report.tape_path = str(path)
+    return report
+
+
+def render_report(report: ExploreReport) -> str:
+    status = "ok" if report.ok else f"VIOLATION [{report.invariant}]"
+    coverage = "exhaustive" if report.complete else "budget-bounded"
+    lines = [
+        f"mc {report.scenario}: {status} — {report.executions} executions, "
+        f"{report.states_explored} decision points, {report.pruned} pruned "
+        f"({coverage})"
+    ]
+    if report.violation is not None:
+        lines.append(f"  {report.violation}")
+        if report.schedule is not None:
+            rendered = ", ".join(f"{a}:{i}" for a, i in report.schedule)
+            lines.append(f"  minimized schedule: [{rendered or 'default'}]")
+        if report.tape_path is not None:
+            lines.append(f"  counterexample tape: {report.tape_path}")
+    return "\n".join(lines)
+
+
+def summary_json(reports: list[ExploreReport]) -> dict[str, Any]:
+    return {
+        "version": 1,
+        "scenarios": [report.to_json() for report in reports],
+        "states_explored": sum(r.states_explored for r in reports),
+        "executions": sum(r.executions for r in reports),
+        "ok": all(r.ok for r in reports),
+        "complete": all(r.complete for r in reports),
+    }

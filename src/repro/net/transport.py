@@ -23,7 +23,24 @@ from repro.obs.registry import MetricsRegistry, get_registry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
 
-__all__ = ["Datagram", "NetworkConfig", "DatagramNetwork"]
+__all__ = ["Datagram", "NetworkConfig", "DatagramNetwork", "ScheduleController"]
+
+
+class ScheduleController:
+    """Makes delivery order a decision point (see :mod:`repro.mc`).
+
+    A controller attached via :meth:`DatagramNetwork.attach_controller` is
+    offered every datagram that survived NAT/budget/fault screening.  When
+    :meth:`intercept` returns True the network relinquishes the datagram:
+    no loss draw, no jitter draw, no event is scheduled — the controller
+    owns delivery and later hands the message back through
+    :meth:`DatagramNetwork.deliver_captured` (or drops/duplicates it).
+    Returning False leaves the normal stochastic path untouched, so a
+    controller that intercepts nothing is bit-identical to no controller.
+    """
+
+    def intercept(self, src: int, dst: int, payload: object, size_bytes: int) -> bool:
+        raise NotImplementedError
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +126,8 @@ class DatagramNetwork:
         #: must never mutate the payload or send — the tape recorder
         #: relies on a tapped run being bit-identical to an untapped one.
         self.send_taps: list[Callable[[int, int, object, int, bool], None]] = []
+        #: Optional delivery-schedule controller (see :mod:`repro.mc`).
+        self.controller: ScheduleController | None = None
         self._ge_state: dict[tuple[int, int], bool] = {}  # link -> in bad state
         # Observability: per-message-type send counters/bytes plus a
         # delivery-latency histogram.  Handles are bound once here, so a
@@ -130,6 +149,35 @@ class DatagramNetwork:
     def attach_faults(self, injector: FaultInjector) -> None:
         """Hook a :class:`repro.faults.FaultInjector` into this network."""
         self.faults = injector
+
+    def attach_controller(self, controller: ScheduleController) -> None:
+        """Hook a :class:`ScheduleController` into this network."""
+        self.controller = controller
+
+    def deliver_captured(
+        self, src: int, dst: int, payload: object, size_bytes: int, sent_at: float
+    ) -> None:
+        """Deliver a controller-captured datagram at the current sim time.
+
+        Only meaningful from an attached :class:`ScheduleController`; the
+        datagram re-enters the normal delivery path (counters, bandwidth
+        accounting, crashed-destination screening).
+        """
+        datagram = Datagram(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=sent_at,
+            delivered_at=self.queue.now,
+        )
+        self._deliver(datagram)
+
+    def drop_captured(self) -> None:
+        """Account a controller-decided drop (cause ``schedule``)."""
+        self.lost += 1
+        self._ctr_lost.inc()
+        self._count_drop("schedule")
 
     def _count_drop(self, cause: str) -> None:
         self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1
@@ -188,6 +236,15 @@ class DatagramNetwork:
             self._sent_by_type[type(payload)] = per_type
         per_type[0].inc()
         per_type[1].inc(size_bytes)
+        if self.controller is not None and self.controller.intercept(
+            src, dst, payload, size_bytes
+        ):
+            # Captured: the controller owns delivery from here — including
+            # loss, which it models as explicit budgeted drop decisions, so
+            # ambient faults and in-flight loss must not race it (checked
+            # first).  The send still counts as accepted — like loss,
+            # capture is invisible to the sender.
+            return True
         if self.faults is not None:
             # Like in-flight loss, a partition is invisible to the sender.
             cause = self.faults.drop_cause(src, dst)

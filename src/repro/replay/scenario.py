@@ -116,6 +116,12 @@ class TapeScenario:
     failover: bool = True
     reliable: bool = True
     cheats: tuple[CheatSpec, ...] = ()
+    #: model-checker envelope (``repro mc`` counterexample tapes only):
+    #: config overrides, controlled message types, decision window, fault
+    #: budgets, and the violating delivery schedule.  ``None`` for every
+    #: ordinary tape — and omitted from the JSON form so the golden
+    #: corpus fingerprints are untouched.  See ``repro.mc.controller``.
+    mc: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.map_name not in MAP_FACTORIES:
@@ -132,7 +138,7 @@ class TapeScenario:
     # ---- serialisation -----------------------------------------------------
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        data = {
             "players": self.players,
             "frames": self.frames,
             "seed": self.seed,
@@ -148,6 +154,9 @@ class TapeScenario:
             "reliable": self.reliable,
             "cheats": [spec.to_json() for spec in self.cheats],
         }
+        if self.mc is not None:
+            data["mc"] = dict(self.mc)
+        return data
 
     @staticmethod
     def from_json(data: Mapping[str, Any]) -> "TapeScenario":
@@ -207,8 +216,13 @@ class TapeScenario:
         return uniform_lan(size)
 
     def make_config(self) -> WatchmenConfig:
+        overrides: dict[str, Any] = {}
+        if self.mc is not None:
+            overrides = dict(self.mc.get("config", {}))
         return WatchmenConfig(
-            proxy_failover=self.failover, reliable_delivery=self.reliable
+            proxy_failover=self.failover,
+            reliable_delivery=self.reliable,
+            **overrides,
         )
 
     def make_session(
@@ -231,7 +245,7 @@ class TapeScenario:
             cheat = make_cheat(spec)
             wire_cheat(cheat, spec.player_id, trace, game_map, config)
             behaviours[spec.player_id] = cheat
-        return WatchmenSession(
+        session = WatchmenSession(
             trace,
             game_map=game_map,
             config=config,
@@ -246,6 +260,15 @@ class TapeScenario:
             faults=faults,
             servers=self.servers,
         )
+        if self.mc is not None:
+            # Deferred import: repro.mc drives sessions through this module,
+            # so a top-level import would be circular.  The controller must
+            # install *here*, before any recorder hooks attach, so record
+            # and verify chain the frame hooks in the same order.
+            from repro.mc.controller import McController
+
+            McController.from_json(self.mc).install(session)
+        return session
 
 
 #: the committed golden corpus (see ``tests/tapes/`` and ``make tapes``):

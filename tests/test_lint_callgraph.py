@@ -292,3 +292,100 @@ class TestBindArguments:
         (site,) = graph.call_sites("repro.demo.caller")
         bound = bind_arguments(callee, site.call)
         assert set(bound) == {"a"}
+
+    def test_double_star_kwargs_is_ignored_not_bound(self):
+        # `**extra` at the call site has keyword.arg None: nothing can be
+        # said statically about which parameters it fills, so binding
+        # neither crashes nor invents entries — explicit arguments around
+        # it still bind.
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, b, c):\n    pass\n"
+                "def caller(extra):\n    callee(1, **extra)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a"}
+        assert ast.literal_eval(bound["a"]) == 1
+
+    def test_keyword_only_parameters_bind_by_name(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, *, flag, depth=0):\n    pass\n"
+                "def caller():\n    callee(1, flag=True)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a", "flag"}
+        assert ast.literal_eval(bound["flag"]) is True
+
+    def test_keyword_only_parameters_never_bind_positionally(self):
+        # The extra positional argument has no positional slot to land
+        # in; silently assigning it to the keyword-only parameter would
+        # model a call Python itself rejects.
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, *, flag):\n    pass\n"
+                "def caller():\n    callee(1, 2)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a"}
+
+    def test_defaulted_parameter_left_unbound_when_omitted(self):
+        # A parameter the call site does not mention stays out of the
+        # binding entirely — the callee's default expression is evaluated
+        # in the callee, and the taint pass must not attribute it to the
+        # caller.
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, depth=0, *, flag=False):\n    pass\n"
+                "def caller():\n    callee(1)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a"}
+
+    def test_positional_args_after_starred_are_not_bound(self):
+        # Past a `*rest` the positional slot indices are unknowable, so
+        # binding stops even for the concrete arguments that follow;
+        # keywords after the star still bind by name.
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a, b, c, d=None):\n    pass\n"
+                "def caller(rest):\n    callee(1, *rest, 9, d=4)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a", "d"}
+        assert ast.literal_eval(bound["a"]) == 1
+        assert ast.literal_eval(bound["d"]) == 4
+
+    def test_positional_overflow_is_dropped(self):
+        graph = graph_of(
+            (
+                "repro.demo",
+                "def callee(a):\n    pass\n"
+                "def caller():\n    callee(1, 2, 3)\n",
+            )
+        )
+        callee = graph.functions["repro.demo.callee"]
+        (site,) = graph.call_sites("repro.demo.caller")
+        bound = bind_arguments(callee, site.call)
+        assert set(bound) == {"a"}
+        assert ast.literal_eval(bound["a"]) == 1

@@ -1,0 +1,89 @@
+"""`repro lint --changed-only` diff base: fork point, not origin/main tip."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.lint.cli import changed_paths
+
+pytestmark = pytest.mark.lint
+
+
+def git(cwd, *args: str) -> None:
+    subprocess.run(
+        ["git", *args], cwd=cwd, check=True, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A clone where origin/main moved on after this branch forked.
+
+    History: base commit C0 touches mod_a and mod_b; origin/main points
+    at C1 (an upstream edit to mod_b); the local branch sits on C2 (an
+    edit to mod_a) forked from C0.  The merge base is C0, so only mod_a
+    is "changed" from this branch's point of view.
+    """
+    git(tmp_path, "init", "-q", "-b", "main")
+    git(tmp_path, "config", "user.email", "dev@example.com")
+    git(tmp_path, "config", "user.name", "dev")
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "mod_a.py").write_text("A = 1\n", encoding="utf-8")
+    (pkg / "mod_b.py").write_text("B = 1\n", encoding="utf-8")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "base")
+    # upstream advances past the fork point...
+    (pkg / "mod_b.py").write_text("B = 2\n", encoding="utf-8")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "upstream edit")
+    git(tmp_path, "update-ref", "refs/remotes/origin/main", "HEAD")
+    # ...while the local branch forks from the base commit
+    git(tmp_path, "reset", "-q", "--hard", "HEAD~1")
+    (pkg / "mod_a.py").write_text("A = 2\n", encoding="utf-8")
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-q", "-m", "local edit")
+    return tmp_path
+
+
+class TestChangedPaths:
+    def test_diffs_against_the_fork_point(self, repo):
+        changed = changed_paths(repo)
+        assert changed is not None
+        names = sorted(p.name for p in changed)
+        # the regression: diffing against the origin/main *tip* would
+        # have dragged in mod_b, which only upstream touched
+        assert names == ["mod_a.py"]
+
+    def test_includes_unstaged_and_untracked_files(self, repo):
+        pkg = repo / "src" / "repro"
+        (pkg / "mod_b.py").write_text("B = 3\n", encoding="utf-8")  # unstaged
+        (pkg / "mod_c.py").write_text("C = 1\n", encoding="utf-8")  # untracked
+        changed = changed_paths(repo)
+        assert changed is not None
+        assert sorted(p.name for p in changed) == [
+            "mod_a.py",
+            "mod_b.py",
+            "mod_c.py",
+        ]
+
+    def test_ignores_files_outside_the_package(self, repo):
+        (repo / "notes.py").write_text("N = 1\n", encoding="utf-8")
+        (repo / "src" / "repro" / "data.txt").write_text("x\n", encoding="utf-8")
+        changed = changed_paths(repo)
+        assert changed is not None
+        assert sorted(p.name for p in changed) == ["mod_a.py"]
+
+    def test_returns_none_outside_a_work_tree(self, tmp_path):
+        assert changed_paths(tmp_path) is None
+
+    def test_returns_none_without_an_origin_main(self, tmp_path):
+        git(tmp_path, "init", "-q", "-b", "main")
+        git(tmp_path, "config", "user.email", "dev@example.com")
+        git(tmp_path, "config", "user.name", "dev")
+        (tmp_path / "probe.py").write_text("P = 1\n", encoding="utf-8")
+        git(tmp_path, "add", "-A")
+        git(tmp_path, "commit", "-q", "-m", "base")
+        assert changed_paths(tmp_path) is None

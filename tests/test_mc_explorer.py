@@ -1,0 +1,192 @@
+"""Explorer tests: POR independence, bounded runs, counterexample plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.mc.controller import McController
+from repro.mc.explorer import (
+    Explorer,
+    explore_scenario,
+    independence_from_footprints,
+)
+from repro.mc.invariants import INVARIANTS
+from repro.mc.scenarios import SCENARIOS, scenario_by_name
+from repro.replay.scenario import TapeScenario
+from repro.replay.tape import read_tape
+
+KILL = scenario_by_name("kill-claim")
+
+
+class TestIndependenceFromFootprints:
+    def test_collapses_emits_per_consumed_type(self):
+        footprints = {
+            "by_type": {"Ping": {"writes": ["known"], "commutes": ["known"]}},
+            "handlers": {
+                "a._on_ping": {"consumes": ["Ping"], "emits": ["Pong"]},
+                "b._on_ping": {"consumes": ["Ping"], "emits": ["Ack"]},
+            },
+        }
+        by_type, emits = independence_from_footprints(footprints)
+        assert by_type["Ping"]["writes"] == ["known"]
+        assert emits["Ping"] == frozenset({"Pong", "Ack"})
+
+
+SYNTHETIC_FOOTPRINTS = {
+    "by_type": {
+        # order-insensitive: every writer annotated the shared store
+        "Ping": {"writes": ["known"], "commutes": ["known"]},
+        # order-sensitive: membership write without annotation
+        "Raze": {"writes": ["membership"], "commutes": []},
+        "Burn": {"writes": ["membership"], "commutes": []},
+        # cascading: its handler can emit a controlled type
+        "Fork": {"writes": [], "commutes": []},
+    },
+    "handlers": {
+        "n._on_fork": {"consumes": ["Fork"], "emits": ["Ping"]},
+    },
+}
+
+
+class TestPartialOrderReduction:
+    def explorer(self):
+        scenario = replace(KILL, controlled=("Ping", "Raze", "Burn", "Fork"))
+        return Explorer(scenario, footprints=SYNTHETIC_FOOTPRINTS)
+
+    def test_different_destinations_commute(self):
+        meta = {0: (0, 1, "Raze"), 1: (0, 2, "Burn")}
+        assert self.explorer()._independent(
+            ("deliver", 0), ("deliver", 1), meta
+        )
+
+    def test_shared_unannotated_store_conflicts(self):
+        meta = {0: (0, 1, "Raze"), 1: (2, 1, "Burn")}
+        assert not self.explorer()._independent(
+            ("deliver", 0), ("deliver", 1), meta
+        )
+
+    def test_shared_annotated_store_commutes(self):
+        meta = {0: (0, 1, "Ping"), 1: (2, 1, "Ping")}
+        assert self.explorer()._independent(
+            ("deliver", 0), ("deliver", 1), meta
+        )
+
+    def test_emitter_of_a_controlled_type_never_commutes(self):
+        # delivering Fork can grow the decision space itself
+        meta = {0: (0, 1, "Fork"), 1: (0, 2, "Ping")}
+        assert not self.explorer()._independent(
+            ("deliver", 0), ("deliver", 1), meta
+        )
+
+    def test_fault_actions_are_never_pruned(self):
+        meta = {0: (0, 1, "Ping"), 1: (0, 2, "Ping")}
+        assert not self.explorer()._independent(
+            ("defer", 0), ("deliver", 1), meta
+        )
+        assert not self.explorer()._independent(
+            ("deliver", 0), ("drop", 1), meta
+        )
+
+    def test_unknown_capture_is_conservatively_dependent(self):
+        meta = {0: (0, 1, "Ping")}
+        assert not self.explorer()._independent(
+            ("deliver", 0), ("deliver", 99), meta
+        )
+
+    def test_without_footprints_same_destination_conflicts(self):
+        explorer = Explorer(replace(KILL, controlled=("Ping",)))
+        meta = {0: (0, 1, "Ping"), 1: (2, 1, "Ping")}
+        assert not explorer._independent(("deliver", 0), ("deliver", 1), meta)
+
+
+class TestExecution:
+    def test_fixed_prefix_is_deterministic(self):
+        explorer = Explorer(KILL)
+        first = explorer.execute(())
+        second = explorer.execute(())
+        assert first.choices == second.choices
+        assert first.decisions == second.decisions
+        assert first.controller_stats == second.controller_stats
+        assert first.violation is None
+
+    def test_budget_bound_reports_incomplete(self):
+        scenario = scenario_by_name("handoff-subscription")
+        report = Explorer(scenario, max_executions=2).run()
+        assert report.executions == 2
+        assert not report.complete
+        assert report.ok  # incompleteness is not a violation
+
+
+class TestCounterexamplePlumbing:
+    def test_violation_is_minimized_and_written_as_a_tape(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(
+            INVARIANTS, "always-broken", lambda session: "synthetic violation"
+        )
+        scenario = replace(
+            KILL, invariants=("always-broken",), max_executions=8
+        )
+        report = explore_scenario(scenario, counterexample_dir=tmp_path)
+        assert report.violation == "synthetic violation"
+        assert report.invariant == "always-broken"
+        # the default schedule already violates, so minimization must
+        # shrink the counterexample to the empty prefix
+        assert report.schedule == ()
+        tape_path = tmp_path / "mc-kill-claim.tape"
+        assert report.tape_path == str(tape_path)
+        tape = read_tape(tape_path)
+        assert tape.scenario.mc is not None
+        assert tape.scenario.mc["schedule"] == []
+        assert tape.scenario.mc["controlled"] == ["KillClaim"]
+
+    def test_clean_scenario_writes_no_tape(self, tmp_path):
+        report = explore_scenario(
+            KILL, max_executions=1, counterexample_dir=tmp_path
+        )
+        assert report.ok
+        assert report.tape_path is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestMcEnvelope:
+    def test_tape_scenario_round_trips_through_json(self):
+        ts = KILL.tape_scenario((("defer", 0), ("deliver", 1)))
+        rebuilt = TapeScenario.from_json(ts.to_json())
+        assert rebuilt.mc == ts.mc
+        assert rebuilt.mc["schedule"] == [["defer", 0], ["deliver", 1]]
+
+    def test_config_overrides_apply(self):
+        handoff = scenario_by_name("handoff-subscription")
+        config = handoff.tape_scenario().make_config()
+        assert config.proxy_period_frames == 16
+
+    def test_make_session_installs_the_controller(self):
+        ts = KILL.tape_scenario()
+        session = ts.make_session(ts.make_trace())
+        controller = session.network.controller
+        assert isinstance(controller, McController)
+        assert controller.controlled == frozenset({"KillClaim"})
+        assert controller.window == KILL.window
+
+
+@pytest.mark.slow
+class TestExhaustiveExploration:
+    def test_kill_claim_scenario_is_exhaustive_and_clean(self):
+        report = Explorer(KILL).run()
+        assert report.complete
+        assert report.ok
+        assert report.executions > 1  # duplication branches were explored
+
+
+def test_scenario_registry():
+    names = [s.name for s in SCENARIOS]
+    assert names == ["handoff-subscription", "crash-eviction", "kill-claim"]
+    for scenario in SCENARIOS:
+        for invariant in scenario.invariants:
+            assert invariant in INVARIANTS
+    with pytest.raises(ValueError):
+        scenario_by_name("nope")
