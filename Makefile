@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test fast lint lint-fix precheck bench chaos tapes replay-verify \
-	model-check
+.PHONY: test fast lint lint-fix precheck bench chaos chaos-byz tapes \
+	replay-verify model-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -42,6 +42,7 @@ bench:
 tapes:
 	$(PYTHON) -m repro tape record --preset normal --out tests/tapes/normal.tape
 	$(PYTHON) -m repro tape record --preset chaos --out tests/tapes/chaos.tape
+	$(PYTHON) -m repro tape record --preset byzantine --out tests/tapes/byzantine.tape
 	$(PYTHON) -m repro tape record --preset cheater --out tests/tapes/cheater.tape
 
 # The CI replay gate, locally: re-simulate every committed tape and fail
@@ -68,3 +69,12 @@ chaos:
 	$(PYTHON) -m repro chaos --players 12 --frames 240 --seed 7 \
 		--out chaos.json \
 		&& $(PYTHON) -m repro bench-diff benchmarks/baseline.json chaos.json
+
+# Just the adversarial tier (docs/ROBUSTNESS.md, "Byzantine fault
+# tier"): equivocation, tampering, flood, selective forwarding, ack
+# withholding — gated on detection latency, zero honest quarantines and
+# the attacker's eviction.  `make chaos` runs `--matrix all` (default)
+# and already includes these rows.
+chaos-byz:
+	$(PYTHON) -m repro chaos --matrix byzantine \
+		--players 12 --frames 240 --seed 7

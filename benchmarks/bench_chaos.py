@@ -19,7 +19,7 @@ import pytest
 
 from repro.analysis.report import render_table
 from repro.core.config import PROXY_PERIOD_FRAMES
-from repro.faults.chaos import run_chaos
+from repro.faults.chaos import byzantine_scenarios, run_chaos
 
 from conftest import publish
 
@@ -27,6 +27,11 @@ pytestmark = pytest.mark.chaos
 
 #: Must match the CI chaos job and the chaos rows in baseline.json.
 CHAOS_PARAMS = {"players": 12, "frames": 240, "seed": 7}
+
+#: Extra seeds the Byzantine matrix sweeps: the honest-safety SLOs
+#: (no honest quarantine, no false eviction) must hold on every seed,
+#: not just the pinned one.
+BYZ_SWEEP_SEEDS = (7, 11, 23)
 
 
 def test_chaos_matrix(benchmark, results_dir):
@@ -82,3 +87,88 @@ def test_chaos_matrix(benchmark, results_dir):
         by_name["proxy_kill_no_failover"]["frames_to_reproxy"]
         > PROXY_PERIOD_FRAMES
     )
+
+
+def test_chaos_byzantine_matrix(benchmark, results_dir):
+    def sweep():
+        return {
+            seed: run_chaos(
+                players=CHAOS_PARAMS["players"],
+                frames=CHAOS_PARAMS["frames"],
+                seed=seed,
+                scenarios=byzantine_scenarios(),
+            )
+            for seed in BYZ_SWEEP_SEEDS
+        }
+
+    by_seed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    results = by_seed[CHAOS_PARAMS["seed"]]
+    body = render_table(
+        ["scenario", "detect", "equiv", "convict", "hon.quar", "evicted",
+         "evict"],
+        [
+            [
+                result["scenario"],
+                f"{result['metrics']['byz_detection_frames']:.0f}",
+                f"{result['metrics']['equivocations_detected']:.0f}",
+                f"{result['metrics']['evidence_convictions']:.0f}",
+                f"{result['metrics']['honest_quarantines']:.0f}",
+                f"{result['metrics']['attacker_evicted']:.0f}",
+                f"{result['metrics']['false_evictions']:.0f}",
+            ]
+            for result in results
+        ],
+    )
+    body += (
+        "\n(hon.quar and evict must be 0 on every seed; hardened rows must "
+        "detect within the bound and the blind contrast must not detect)\n"
+    )
+    publish(
+        results_dir,
+        "chaos_byz_matrix",
+        "Chaos — Byzantine attacks vs protocol hardening",
+        body,
+        params={**CHAOS_PARAMS, "sweep_seeds": list(BYZ_SWEEP_SEEDS)},
+    )
+    for result in results:
+        publish(
+            results_dir,
+            f"chaos_{result['scenario']}",
+            f"Chaos — {result['summary']}",
+            "(metrics in the JSON artifact; summary in chaos_byz_matrix.txt)",
+            params=result["params"],
+            metrics=result["metrics"],
+        )
+
+    for seed, seed_results in by_seed.items():
+        by_name = {r["scenario"]: r["metrics"] for r in seed_results}
+        for name, metrics in by_name.items():
+            # Honest safety on every seed: hardening never costs an honest
+            # player his seat or his voice.
+            assert metrics["false_evictions"] == 0, (seed, name)
+            assert metrics["honest_quarantines"] == 0, (seed, name)
+        # Hardened detection lands within the bound; the equivocator is
+        # convicted and evicted from every honest membership view.
+        assert by_name["byz_equivocation"]["equivocations_detected"] > 0, seed
+        assert by_name["byz_equivocation"]["attacker_evicted"] == 1.0, seed
+        assert (
+            by_name["byz_equivocation"]["byz_detection_frames"]
+            <= PROXY_PERIOD_FRAMES
+        ), seed
+        assert (
+            by_name["byz_tamper_relay"]["byz_detection_frames"]
+            <= PROXY_PERIOD_FRAMES
+        ), seed
+        assert (
+            by_name["byz_flood"]["byz_detection_frames"] <= PROXY_PERIOD_FRAMES
+        ), seed
+        assert (
+            by_name["byz_starve"]["byz_detection_frames"]
+            <= 2 * PROXY_PERIOD_FRAMES
+        ), seed
+        # The blind contrast shows the attack landing: nothing detected,
+        # nothing convicted, the attacker keeps his seat.
+        blind = by_name["byz_equivocation_blind"]
+        assert blind["equivocations_detected"] == 0, seed
+        assert blind["attacker_evicted"] == 0.0, seed

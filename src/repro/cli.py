@@ -56,7 +56,7 @@ from repro.analysis.report import (
 from repro import __version__
 from repro.core import WatchmenSession
 from repro.core.config import PROXY_PERIOD_FRAMES
-from repro.faults.chaos import run_chaos
+from repro.faults.chaos import byzantine_scenarios, default_scenarios, run_chaos
 from repro.lint.cli import add_lint_arguments, cmd_lint
 from repro.mc.cli import add_mc_arguments, cmd_mc
 from repro.replay.cli import add_tape_arguments, cmd_tape
@@ -193,6 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--players", type=int, default=16)
     chaos.add_argument("--frames", type=int, default=400)
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--matrix",
+        choices=["standard", "byzantine", "all"],
+        default="all",
+        help="which scenario matrix to run: the pure-fault scenarios, "
+        "the adversarial (Byzantine) ones, or both (default)",
+    )
     chaos.add_argument(
         "--out",
         metavar="PATH",
@@ -413,12 +420,62 @@ def chaos_gate_failures(results: list[dict]) -> list[str]:
                 f"{name}: frames_to_reproxy {reproxy:.0f} exceeds one "
                 f"proxy period ({PROXY_PERIOD_FRAMES})"
             )
+        # Byzantine gates (rows carrying byz metrics only).  Honest senders
+        # must never be quarantined, hardened runs must detect the attack
+        # within the bound, and the blind contrast must show the attack
+        # *landing*: no detection, the attacker keeps his seat.
+        if "honest_quarantines" in metrics and metrics["honest_quarantines"] > 0:
+            failures.append(
+                f"{name}: {metrics['honest_quarantines']:.0f} honest "
+                "senders quarantined (SLO: 0)"
+            )
+        if "byz_detection_frames" in metrics:
+            kind = params.get("byzantine", "")
+            # Starvation needs a full silence threshold (2 s = one proxy
+            # period) before the 1 Hz scan may even fire; direct
+            # cryptographic/volume signals must land within one period.
+            bound = (
+                2 * PROXY_PERIOD_FRAMES
+                if kind in ("selective_forward", "ack_withhold")
+                else PROXY_PERIOD_FRAMES
+            )
+            if params.get("hardening"):
+                if metrics["byz_detection_frames"] > bound:
+                    failures.append(
+                        f"{name}: byz_detection_frames "
+                        f"{metrics['byz_detection_frames']:.0f} exceeds "
+                        f"the detection bound ({bound})"
+                    )
+                if kind == "equivocation" and (
+                    metrics["equivocations_detected"] == 0
+                    or metrics["attacker_evicted"] != 1.0
+                ):
+                    failures.append(
+                        f"{name}: equivocator not detected and evicted "
+                        "under hardening"
+                    )
+            elif kind == "equivocation" and (
+                metrics["equivocations_detected"] != 0
+                or metrics["attacker_evicted"] != 0.0
+            ):
+                failures.append(
+                    f"{name}: blind contrast should let the attack land "
+                    "(no detection, no eviction)"
+                )
     return failures
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    matrices = {
+        "standard": default_scenarios(),
+        "byzantine": byzantine_scenarios(),
+        "all": default_scenarios() + byzantine_scenarios(),
+    }
     results = run_chaos(
-        players=args.players, frames=args.frames, seed=args.seed
+        players=args.players,
+        frames=args.frames,
+        seed=args.seed,
+        scenarios=matrices[args.matrix],
     )
     rows = [
         bench_row(
@@ -454,6 +511,22 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 f"{metrics['stale_frac_after']:>9.3f} "
                 f"{metrics['view_error_p95_delta']:>9.1f}"
             )
+        byz_rows = [r for r in results if "byz_detection_frames" in r["metrics"]]
+        if byz_rows:
+            print(
+                f"{'scenario':<24} {'detect':>6} {'equiv':>6} "
+                f"{'convict':>7} {'hon.quar':>8} {'evicted':>7}"
+            )
+            for result in byz_rows:
+                metrics = result["metrics"]
+                print(
+                    f"{result['scenario']:<24} "
+                    f"{metrics['byz_detection_frames']:>6.0f} "
+                    f"{metrics['equivocations_detected']:>6.0f} "
+                    f"{metrics['evidence_convictions']:>7.0f} "
+                    f"{metrics['honest_quarantines']:>8.0f} "
+                    f"{metrics['attacker_evicted']:>7.0f}"
+                )
 
     failures = chaos_gate_failures(results)
     for failure in failures:

@@ -46,6 +46,11 @@ __all__ = [
     "ACK_RETRY_MAX_ATTEMPTS",
     "MEMBERSHIP_SILENCE_FRAMES",
     "STALE_VIEW_AGE_FRAMES",
+    "BYZANTINE_RATE_MSGS_PER_FRAME",
+    "BYZANTINE_RATE_BURST",
+    "BYZANTINE_QUARANTINE_STRIKES",
+    "BYZANTINE_QUARANTINE_FRAMES",
+    "BYZANTINE_STARVATION_FRAMES",
     "WatchmenConfig",
 ]
 
@@ -119,6 +124,38 @@ MEMBERSHIP_SILENCE_FRAMES: Final[int] = 60
 #: staleness during/after an injected fault.
 STALE_VIEW_AGE_FRAMES: Final[int] = 2 * FRAMES_PER_SECOND
 
+# -- Byzantine hardening (repro.faults.byzantine; gated, default OFF) ------
+
+#: Token-bucket refill per (receiver, transmitting hop) link per frame.
+#: Honest sustained traffic on one link is a handful of messages per
+#: frame (a proxy fanning out the frequent tier for the clients it
+#: hosts); the refill sits well above that so honest links never strike.
+BYZANTINE_RATE_MSGS_PER_FRAME: Final[int] = 8
+
+#: Token-bucket capacity.  Must absorb legitimate one-frame bursts —
+#: epoch-boundary subscription fan-out, handoff summaries and liveness
+#: defense bursts all land together — which stay under a couple dozen
+#: messages on one link even at chaos-matrix scale.
+BYZANTINE_RATE_BURST: Final[int] = 80
+
+#: Empty-bucket strikes before a link is quarantined.  More than one, so
+#: a single freak burst is forgiven; a flood drains the bucket every
+#: frame and crosses this within a few frames.
+BYZANTINE_QUARANTINE_STRIKES: Final[int] = 3
+
+#: Quarantine duration: one proxy period, after which the link gets a
+#: fresh bucket — bounded, so a false positive can never silence a
+#: player for good.
+BYZANTINE_QUARANTINE_FRAMES: Final[int] = PROXY_PERIOD_FRAMES
+
+#: Selective-forwarding suspicion: a roster member dark for this long
+#: while his proxy demonstrably keeps speaking is circumstantial
+#: evidence against the *proxy* (it cannot be the publisher's own
+#: silence — the proxy's liveness proves the path out of that corner of
+#: the network works).  Two 1 Hz heartbeat periods, matching the
+#: staleness definition.
+BYZANTINE_STARVATION_FRAMES: Final[int] = 2 * FRAMES_PER_SECOND
+
 
 def _default_interest() -> "InterestConfig":
     # Imported lazily so this module stays an import leaf (game.interest
@@ -190,6 +227,18 @@ class WatchmenConfig:
     #: to the roster (bypassing its possibly-dead proxy) at this cadence.
     #: Always on: it costs nothing until someone is actually accused.
     defense_interval_frames: int = 5
+    # -- Byzantine hardening (repro.faults.byzantine; default OFF so -------
+    # -- benign runs stay bit-identical to the ungated protocol) -----------
+    #: Equivocation cross-check, signed misbehavior evidence, tamper
+    #: attribution to the relaying hop, per-link token-bucket rate
+    #: limiting with bounded quarantine, and selective-forwarding /
+    #: ack-withholding suspicion ratings.
+    byzantine_hardening: bool = False
+    rate_limit_msgs_per_frame: int = BYZANTINE_RATE_MSGS_PER_FRAME
+    rate_limit_burst: int = BYZANTINE_RATE_BURST
+    quarantine_strikes: int = BYZANTINE_QUARANTINE_STRIKES
+    quarantine_frames: int = BYZANTINE_QUARANTINE_FRAMES
+    starvation_suspicion_frames: int = BYZANTINE_STARVATION_FRAMES
     # -- responsiveness accounting -------------------------------------------
     max_useful_age_frames: int = MAX_USEFUL_AGE_FRAMES  # ≥150 ms counts as loss
 
@@ -242,6 +291,16 @@ class WatchmenConfig:
                 "membership_silence_frames must exceed the proxy silence "
                 "threshold so failover precedes eviction"
             )
+        if self.rate_limit_msgs_per_frame <= 0:
+            raise ValueError("rate_limit_msgs_per_frame must be positive")
+        if self.rate_limit_burst < self.rate_limit_msgs_per_frame:
+            raise ValueError("rate_limit_burst below the per-frame refill")
+        if self.quarantine_strikes < 1:
+            raise ValueError("quarantine_strikes must be at least 1")
+        if self.quarantine_frames <= 0:
+            raise ValueError("quarantine_frames must be positive")
+        if self.starvation_suspicion_frames <= 0:
+            raise ValueError("starvation_suspicion_frames must be positive")
 
     def epoch_of_frame(self, frame: int) -> int:
         """The proxy epoch a frame belongs to."""

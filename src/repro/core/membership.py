@@ -63,6 +63,11 @@ class MembershipView:
     _own_proposals: set[int] = field(default_factory=set)
     _scheduled_removals: dict[int, int] = field(default_factory=dict)  # subject -> epoch
     removed: set[int] = field(default_factory=set)
+    #: Players scheduled for removal on *verified misbehavior evidence*
+    #: (signed equivocation) rather than silence.  Unlike silence-based
+    #: removals, a conviction is never rescinded by hearing from the
+    #: subject — an equivocator keeps publishing, that is the attack.
+    convicted: set[int] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if len(self.roster) < 2:
@@ -87,7 +92,7 @@ class MembershipView:
             self._last_heard[player_id] = max(
                 self._last_heard[player_id], frame
             )
-            if player_id not in self.removed:
+            if player_id not in self.removed and player_id not in self.convicted:
                 self._proposals.pop(player_id, None)
                 self._own_proposals.discard(player_id)
                 self._scheduled_removals.pop(player_id, None)
@@ -153,6 +158,24 @@ class MembershipView:
             )
             return True
         return False
+
+    def convict(self, subject_id: int, epoch_due: int) -> bool:
+        """Schedule a quorum-free removal backed by self-certifying evidence.
+
+        Silence proposals need a majority because any minority could lie;
+        equivocation evidence carries its own proof (two valid signatures,
+        one sequence, two payloads), so a single verified message suffices.
+        Idempotent per subject: the first conviction pins the due epoch and
+        repeats are ignored, so duplicate or reordered evidence cannot
+        move the removal.  Returns True when the conviction was recorded.
+        """
+        if subject_id in self.removed or subject_id in self.convicted:
+            return False
+        if subject_id not in self.roster:
+            return False
+        self.convicted.add(subject_id)
+        self._scheduled_removals[subject_id] = epoch_due
+        return True
 
     def quorum_size(self) -> int:
         """Majority of the players still considered present."""

@@ -34,6 +34,7 @@ __all__ = [
     "HandoffSummary",
     "HandoffMessage",
     "AckMessage",
+    "MisbehaviorEvidence",
     "GameMessage",
     "ACKABLE_TYPES",
     "signable_bytes",
@@ -191,6 +192,28 @@ class AckMessage:
     signature: Signature | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class MisbehaviorEvidence:
+    """Self-certifying proof that ``accused_id`` equivocated.
+
+    Carries *both* conflicting updates — each validly signed by the
+    accused, same sequence, differing payloads.  Under signature
+    unforgeability nobody can fabricate this about an honest player
+    (honest senders never reuse a sequence for different payloads;
+    retransmissions reuse the identical signed bytes), so one verified
+    evidence message convicts on its own: receivers re-verify both inner
+    signatures and need no quorum of accusers.
+    """
+
+    sender_id: int  # the witness reporting the conflict
+    accused_id: int
+    frame: int
+    sequence: int
+    first: StateUpdate
+    second: StateUpdate
+    signature: Signature | None = None
+
+
 GameMessage = Union[
     StateUpdate,
     PositionUpdate,
@@ -201,6 +224,7 @@ GameMessage = Union[
     HandoffMessage,
     RemovalProposal,
     AckMessage,
+    MisbehaviorEvidence,
 ]
 
 #: The critical low-rate messages covered by the ack/retry layer: losing
@@ -213,6 +237,7 @@ ACKABLE_TYPES: tuple[type, ...] = (
     KillClaim,
     RemovalProposal,
     HandoffMessage,
+    MisbehaviorEvidence,
 )
 
 
@@ -252,6 +277,20 @@ def signable_bytes(message: GameMessage) -> bytes:
                 "s": encode(value.last_snapshot) if value.last_snapshot else None,
                 "n": value.update_count,
                 "flags": value.suspicion_flags,
+            }
+        if isinstance(value, StateUpdate):
+            # Nested evidence payload: the inner *signature* is part of
+            # the signed bytes — the evidence's meaning is exactly "these
+            # two signed messages exist", so the proofs must be covered.
+            return {
+                name: encode(getattr(value, name))
+                for name in value.__dataclass_fields__
+            }
+        if isinstance(value, Signature):
+            return {
+                "scheme": value.scheme,
+                "signer": value.signer_id,
+                "data": value.data.hex(),
             }
         if isinstance(value, Vec3):
             return value.to_tuple()
@@ -297,6 +336,12 @@ def message_size_bits(message: GameMessage, config: WatchmenConfig) -> int:
         body = config.subscription_bits  # tiny signed receipt
     elif isinstance(message, ProjectileSpawn):
         body = config.position_update_bits  # origin + velocity + weapon
+    elif isinstance(message, MisbehaviorEvidence):
+        # Two full signed updates plus a small claim record around them.
+        body = (
+            2 * (config.state_update_bits + config.signature_bits)
+            + config.subscription_bits
+        )
     elif isinstance(message, HandoffMessage):
         entries = (
             1

@@ -35,6 +35,7 @@ from repro.core.messages import (
     HandoffMessage,
     HandoffSummary,
     KillClaim,
+    MisbehaviorEvidence,
     PositionUpdate,
     ProjectileSpawn,
     RemovalProposal,
@@ -328,6 +329,36 @@ class WatchmenNode:
         self._last_defense_frame: int = -(10**9)
         self._ctr_defenses = obs.counter("node.liveness_defenses")
 
+        # -- Byzantine hardening (config-gated, default off) ----------------
+        #: per-sender low watermark: sequences at or below were evicted
+        #: from the dedup window and screen as *silent* duplicates
+        self._seen_watermark: dict[int, int] = {}
+        #: first-seen signed StateUpdate per (sender, sequence): what the
+        #: equivocation detector cross-checks later copies against
+        self._update_archive: dict[int, dict[int, StateUpdate]] = {}
+        #: accused players this node already broadcast evidence about
+        self._evidence_emitted: set[int] = set()
+        #: token-bucket state per transmitting hop: (tokens, last frame)
+        self._rate_buckets: dict[int, tuple[float, int]] = {}
+        self._rate_strikes: dict[int, int] = {}
+        self._quarantined_until: dict[int, int] = {}
+        #: (proxy, subject, epoch) starvation suspicions already rated
+        self._starvation_rated: set[tuple[int, int, int]] = set()
+        #: (frame, src) per quarantine imposed — the chaos harness gates
+        #: ``honest_quarantines == 0`` on these
+        self.quarantine_events: list[tuple[int, int]] = []
+        #: (frame, accused) per cryptographically detected equivocation
+        self.equivocation_events: list[tuple[int, int]] = []
+        #: (frame, subject, kind) circumstantial byzantine suspicions
+        #: (kind: "tamper_hop" | "starvation" | "ack_withhold")
+        self.suspicion_events: list[tuple[int, int, str]] = []
+        #: optional sink into the transport's unified drop accounting
+        #: (set by the session to ``DatagramNetwork.count_protocol_drop``)
+        self.protocol_drop: Callable[[str], None] | None = None
+        self._ctr_equivocations = obs.counter("node.equivocations_detected")
+        self._ctr_quarantines = obs.counter("node.quarantines")
+        self._ctr_convictions = obs.counter("node.evidence_convictions")
+
     # ------------------------------------------------------------------
     # Frame driving (called by the session)
     # ------------------------------------------------------------------
@@ -383,6 +414,10 @@ class WatchmenNode:
         self._propose_departures(frame, epoch)
         if not self.is_server:
             self._drive_defense(frame)
+
+        # -- selective-forwarding suspicion (Byzantine hardening, gated) ------
+        if self.config.byzantine_hardening:
+            self._scan_starvation(frame, epoch)
 
         # -- proxy duties ----------------------------------------------------
         self._poll_client_silence(frame)
@@ -631,6 +666,31 @@ class WatchmenNode:
                 continue
             if pending.attempt >= self.config.ack_retry_max_attempts:
                 self._ctr_retry_exhausted.inc()
+                if self.config.byzantine_hardening and not self._node_seems_dead(
+                    pending.destination, frame
+                ):
+                    # The whole retry ladder went unanswered while the
+                    # destination kept heartbeating: it processes traffic
+                    # but never acknowledges (ack withholding) — or the
+                    # path is asymmetrically cut, hence the low confidence.
+                    self.suspicion_events.append(
+                        (frame, pending.destination, "ack_withhold")
+                    )
+                    self._emit_rating(
+                        CheatRating(
+                            verifier_id=self.player_id,
+                            subject_id=pending.destination,
+                            frame=frame,
+                            check=CheckKind.RATE,
+                            rating=6.0,
+                            confidence=Confidence.OTHER,
+                            deviation=float(pending.attempt),
+                            detail=(
+                                "retry ladder exhausted against a live "
+                                "destination (ack withholding?)"
+                            ),
+                        )
+                    )
                 continue  # give up; the destination is gone or the path is cut
             pending.attempt += 1
             backoff = min(
@@ -1087,6 +1147,17 @@ class WatchmenNode:
             self._dispatch_message(src, message)
 
     def _dispatch_message(self, src: int, message: GameMessage) -> None:
+        if (
+            self.config.byzantine_hardening
+            and src != self.player_id
+            and not self._rate_limit_admit(src)
+        ):
+            # Flood defense: the sending hop is over its token budget (or
+            # already quarantined) — the message is dropped before any
+            # signature work, which is the point: verification is the cost
+            # a flooder would otherwise impose.
+            self._count_protocol_drop("quarantine")
+            return
         observe = getattr(self.behaviour, "observe_incoming", None)
         if observe is not None:
             observe(self.current_frame, src, message)
@@ -1116,6 +1187,8 @@ class WatchmenNode:
             self._on_handoff(message)
         elif isinstance(message, RemovalProposal):
             self._on_removal_proposal(message)
+        elif isinstance(message, MisbehaviorEvidence):
+            self._on_misbehavior_evidence(src, message)
         elif isinstance(message, AckMessage):
             self._on_ack(src, message)
 
@@ -1125,6 +1198,29 @@ class WatchmenNode:
             message.sender_id, signable_bytes(message), message.signature
         ):
             self.metrics.count_signature_failure()
+            if self.config.byzantine_hardening and src != message.sender_id:
+                # A relayed message that fails its origin signature was
+                # mutated *in flight*: the origin's signing path either
+                # produces valid bytes or nothing.  Blame the relaying hop,
+                # not the named sender — that is exactly the tampering-proxy
+                # attack the signatures exist to catch.
+                self._count_protocol_drop("tamper")
+                self.suspicion_events.append(
+                    (self.current_frame, src, "tamper_hop")
+                )
+                self._emit_rating(
+                    CheatRating(
+                        verifier_id=self.player_id,
+                        subject_id=src,
+                        frame=self.current_frame,
+                        check=CheckKind.RATE,
+                        rating=10.0,
+                        confidence=Confidence.PROXY,
+                        deviation=1.0,
+                        detail="relayed message fails its signature (tampering hop)",
+                    )
+                )
+                return False
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
@@ -1139,40 +1235,318 @@ class WatchmenNode:
             )
             return False
         seen = self._seen_sequences.setdefault(message.sender_id, set())
+        if message.sequence <= self._seen_watermark.get(message.sender_id, -1):
+            # Below the eviction watermark: this sequence was tracked once
+            # and its tombstone has been garbage-collected.  A late
+            # retransmit landing here is indistinguishable from a replay,
+            # so it is *always* screened silently — never reprocessed (the
+            # pre-watermark code silently accepted these) and never treated
+            # as cheat evidence.
+            return self._screen_duplicate(src, message, tracked=False)
         if message.sequence in seen:
-            self.metrics.count_replayed_message()
-            if self.config.reliable_delivery or self.config.proxy_failover:
-                # With the robustness layers on, duplicates are an expected
-                # artefact of dual-send failover, retransmissions and
-                # network duplication — screen them silently instead of
-                # convicting an honest sender.  The ack still goes out so a
-                # retransmitting peer stops resending a delivered message.
-                if (
-                    self.config.reliable_delivery
-                    and src != self.player_id
-                    and isinstance(message, ACKABLE_TYPES)
-                ):
-                    self._send_ack(src, message)
+            return self._screen_duplicate(src, message, tracked=True)
+        seen.add(message.sequence)
+        if self.config.byzantine_hardening and isinstance(message, StateUpdate):
+            # First-seen signed update per (sender, sequence): the archive
+            # the equivocation detector cross-checks duplicates against.
+            self._update_archive.setdefault(message.sender_id, {})[
+                message.sequence
+            ] = message
+        if len(seen) > 4096:  # bounded memory; old sequences cannot return
+            kept = sorted(seen)
+            # The watermark is the highest evicted sequence: everything at
+            # or below it is "seen" by fiat, so eviction can never turn a
+            # stale retransmit into fresh (reprocessed) traffic.
+            self._seen_watermark[message.sender_id] = kept[-2049]
+            self._seen_sequences[message.sender_id] = set(kept[-2048:])
+            archive = self._update_archive.get(message.sender_id)
+            if archive:
+                watermark = kept[-2049]
+                for sequence in [s for s in archive if s <= watermark]:
+                    del archive[sequence]
+        return True
+
+    def _screen_duplicate(
+        self, src: int, message: GameMessage, *, tracked: bool
+    ) -> bool:
+        """Handle a message whose sequence was already seen (or evicted).
+
+        ``tracked`` duplicates of a signed ``StateUpdate`` are first
+        cross-checked against the archived original: same sequence but
+        *different* signed bytes is cryptographic equivocation, the one
+        duplicate that is proof of misbehavior rather than an artefact.
+        """
+        if (
+            tracked
+            and self.config.byzantine_hardening
+            and isinstance(message, StateUpdate)
+        ):
+            archived = self._update_archive.get(message.sender_id, {}).get(
+                message.sequence
+            )
+            if archived is not None and signable_bytes(archived) != signable_bytes(
+                message
+            ):
+                self._on_equivocation(src, archived, message)
                 return False
+        self.metrics.count_replayed_message()
+        if (
+            not tracked
+            or self.config.reliable_delivery
+            or self.config.proxy_failover
+        ):
+            # With the robustness layers on, duplicates are an expected
+            # artefact of dual-send failover, retransmissions and
+            # network duplication — screen them silently instead of
+            # convicting an honest sender.  The ack still goes out so a
+            # retransmitting peer stops resending a delivered message.
+            if (
+                self.config.reliable_delivery
+                and src != self.player_id
+                and isinstance(message, ACKABLE_TYPES)
+            ):
+                self._send_ack(src, message)
+            return False
+        self._emit_rating(
+            CheatRating(
+                verifier_id=self.player_id,
+                subject_id=message.sender_id,
+                frame=self.current_frame,
+                check=CheckKind.RATE,
+                rating=10.0,
+                confidence=Confidence.PROXY,
+                deviation=1.0,
+                detail=f"replayed sequence {message.sequence}",
+            )
+        )
+        return False
+
+    # -- Byzantine hardening ----------------------------------------------
+
+    def _count_protocol_drop(self, cause: str) -> None:
+        """Fold a protocol-layer rejection into the transport's drop books."""
+        if self.protocol_drop is not None:
+            self.protocol_drop(cause)
+
+    def _rate_limit_admit(self, src: int) -> bool:
+        """Token-bucket admission per sending hop, with bounded quarantine.
+
+        Honest links carry a few messages per frame (epoch bursts stay
+        well under the burst allowance), so they never strike; a flooder
+        drains its bucket within a couple of frames, accumulates strikes
+        and is silenced for ``quarantine_frames`` — bounded, so a false
+        positive self-heals instead of becoming an eviction.
+        """
+        frame = self.current_frame
+        until = self._quarantined_until.get(src)
+        if until is not None:
+            if frame < until:
+                return False
+            # Quarantine served: fresh bucket, strikes forgiven.
+            del self._quarantined_until[src]
+            self._rate_strikes.pop(src, None)
+            self._rate_buckets.pop(src, None)
+        tokens, last = self._rate_buckets.get(
+            src, (float(self.config.rate_limit_burst), frame)
+        )
+        tokens = min(
+            float(self.config.rate_limit_burst),
+            tokens + (frame - last) * self.config.rate_limit_msgs_per_frame,
+        )
+        if tokens >= 1.0:
+            self._rate_buckets[src] = (tokens - 1.0, frame)
+            return True
+        self._rate_buckets[src] = (tokens, frame)
+        strikes = self._rate_strikes.get(src, 0) + 1
+        self._rate_strikes[src] = strikes
+        if strikes >= self.config.quarantine_strikes:
+            self._quarantined_until[src] = frame + self.config.quarantine_frames
+            self._rate_strikes[src] = 0
+            self.quarantine_events.append((frame, src))
+            self._ctr_quarantines.inc()
             self._emit_rating(
                 CheatRating(
                     verifier_id=self.player_id,
-                    subject_id=message.sender_id,
+                    subject_id=src,
+                    frame=frame,
+                    check=CheckKind.RATE,
+                    rating=8.0,
+                    confidence=Confidence.PROXY,
+                    deviation=float(strikes),
+                    detail="message flood: token bucket exhausted repeatedly",
+                )
+            )
+        return False
+
+    def _on_equivocation(
+        self, src: int, archived: StateUpdate, conflict: StateUpdate
+    ) -> None:
+        """Two validly-signed updates, same sequence, different payloads.
+
+        This is cryptographic proof the *origin* equivocated (no relay can
+        forge either signature), so the rating is maximal and the witness
+        broadcasts self-certifying evidence that convicts everywhere
+        without needing a removal quorum.
+        """
+        accused = conflict.sender_id
+        self._ctr_equivocations.inc()
+        self.equivocation_events.append((self.current_frame, accused))
+        self._emit_rating(
+            CheatRating(
+                verifier_id=self.player_id,
+                subject_id=accused,
+                frame=self.current_frame,
+                check=CheckKind.RATE,
+                rating=10.0,
+                confidence=Confidence.PROXY,
+                deviation=1.0,
+                detail=(
+                    "equivocation: conflicting signed payloads for "
+                    f"sequence {conflict.sequence}"
+                ),
+            )
+        )
+        if accused in self._evidence_emitted:
+            return
+        self._evidence_emitted.add(accused)
+        evidence = MisbehaviorEvidence(
+            sender_id=self.player_id,
+            accused_id=accused,
+            frame=self.current_frame,
+            sequence=self._next_sequence(),
+            first=archived,
+            second=conflict,
+        )
+        self._convict_on_evidence(evidence)
+        for destination in self.membership.current_roster():
+            if destination != self.player_id:
+                self._transmit(evidence, destination)
+
+    # repro-mc: commutes[membership] -- convictions are idempotent per subject
+    def _on_misbehavior_evidence(
+        self, src: int, evidence: MisbehaviorEvidence
+    ) -> None:
+        if not self.config.byzantine_hardening:
+            return
+        if not self._evidence_is_valid(evidence):
+            # An invalid evidence message is itself an accusation forgery
+            # attempt (or corruption); rate the reporter, not the accused.
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=evidence.sender_id,
+                    frame=self.current_frame,
+                    check=CheckKind.RATE,
+                    rating=8.0,
+                    confidence=Confidence.PROXY,
+                    deviation=1.0,
+                    detail="misbehavior evidence fails verification",
+                )
+            )
+            return
+        self._convict_on_evidence(evidence)
+
+    def _evidence_is_valid(self, evidence: MisbehaviorEvidence) -> bool:
+        """Re-verify the self-certifying proof; trust nothing about it."""
+        first, second = evidence.first, evidence.second
+        if (
+            first.sender_id != evidence.accused_id
+            or second.sender_id != evidence.accused_id
+        ):
+            return False
+        if evidence.accused_id == self.player_id:
+            return False  # nodes do not convict themselves on hearsay
+        if first.sequence != second.sequence:
+            return False
+        if signable_bytes(first) == signable_bytes(second):
+            return False  # identical retransmission, not equivocation
+        for inner in (first, second):
+            if inner.signature is None or not self.signer.verify(
+                inner.sender_id, signable_bytes(inner), inner.signature
+            ):
+                return False
+        return True
+
+    def _convict_on_evidence(self, evidence: MisbehaviorEvidence) -> None:
+        """Schedule a quorum-free removal backed by verified evidence.
+
+        The due epoch is a pure function of the *evidence* frame, so every
+        node that accepts the same evidence schedules the same removal
+        epoch and membership views stay in agreement at quiescence.
+        """
+        due_epoch = (
+            self.config.epoch_of_frame(evidence.frame)
+            + self.membership.effective_delay_epochs
+        )
+        if self.membership.convict(evidence.accused_id, due_epoch):
+            self._ctr_convictions.inc()
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=evidence.accused_id,
                     frame=self.current_frame,
                     check=CheckKind.RATE,
                     rating=10.0,
                     confidence=Confidence.PROXY,
                     deviation=1.0,
-                    detail=f"replayed sequence {message.sequence}",
+                    detail="verified misbehavior evidence (signed equivocation)",
                 )
             )
-            return False
-        seen.add(message.sequence)
-        if len(seen) > 4096:  # bounded memory; old sequences cannot return
-            self._seen_sequences[message.sender_id] = set(
-                sorted(seen)[-2048:]
+
+    def _scan_starvation(self, frame: int, epoch: int) -> None:
+        """Selective-forwarding suspicion: a peer is dark while its proxy is live.
+
+        If we have not heard *anything* attributable to a subject for
+        ``starvation_suspicion_frames`` but the subject's proxy is
+        demonstrably alive (heard within one publishing interval), the
+        likeliest explanation is the proxy eating the subject's traffic.
+        Low-confidence rating only — partitions look the same from here,
+        and the defense-burst machinery is what actually protects the
+        victim from eviction.
+        """
+        if frame == 0 or frame % self.config.position_interval_frames != 0:
+            return
+        for subject in self.membership.current_roster():
+            if subject == self.player_id or subject in self.membership.exempt:
+                continue
+            last = self.membership.last_heard_frame(subject)
+            if last is None or frame - last <= self.config.starvation_suspicion_frames:
+                continue
+            if self.membership.proposal_count(subject) > 0:
+                continue  # removal machinery already has the case
+            # Blame the proxy that held the subject when he went dark, not
+            # the current one: the detection lag spans an epoch boundary,
+            # and after rotation the starving proxy is the *previous* hop.
+            dark_epoch = self.config.epoch_of_frame(last + 1)
+            proxy = self.schedule.proxy_of(subject, dark_epoch)
+            if proxy in (self.player_id, subject):
+                continue
+            proxy_last = self.membership.last_heard_frame(proxy)
+            if (
+                proxy_last is None
+                or frame - proxy_last > self.config.position_interval_frames
+            ):
+                continue  # proxy not demonstrably alive; could be a partition
+            key = (proxy, subject, epoch)
+            if key in self._starvation_rated:
+                continue
+            self._starvation_rated.add(key)
+            self.suspicion_events.append((frame, proxy, "starvation"))
+            self._emit_rating(
+                CheatRating(
+                    verifier_id=self.player_id,
+                    subject_id=proxy,
+                    frame=frame,
+                    check=CheckKind.RATE,
+                    rating=6.0,
+                    confidence=Confidence.OTHER,
+                    deviation=float(frame - last),
+                    detail=(
+                        f"player {subject} dark while its proxy stays live "
+                        "(selective forwarding?)"
+                    ),
+                )
             )
-        return True
 
     # -- state updates ----------------------------------------------------
 

@@ -21,11 +21,12 @@ from typing import Callable
 
 from repro.core.config import MAX_USEFUL_AGE_FRAMES, WatchmenConfig
 from repro.core.messages import GameMessage, GuidanceMessage, StateUpdate
-from repro.core.node import NodeBehaviour, WatchmenNode
+from repro.core.node import HonestBehaviour, NodeBehaviour, WatchmenNode
 from repro.core.proxy import ProxySchedule
 from repro.core.reputation import ReputationBoard
 from repro.core.verification import CheatRating
 from repro.crypto.signatures import HmacSigner
+from repro.faults.byzantine import ByzantineBehaviour
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import FaultSchedule
 from repro.game.gamemap import GameMap, make_longest_yard
@@ -64,6 +65,14 @@ class SessionReport:
     crashed: dict[int, int] = field(default_factory=dict)
     #: total proxy failovers performed across all nodes
     proxy_failovers: int = 0
+    #: Byzantine hardening telemetry (all zero with the gate off):
+    #: equivocation detections across all witnesses, evidence-backed
+    #: convictions recorded, quarantine impositions, and messages the
+    #: protocol layer itself refused (tamper + quarantine drops).
+    equivocations_detected: int = 0
+    evidence_convictions: int = 0
+    quarantines: int = 0
+    rejected_by_protocol: int = 0
 
     def view_error_stats(self) -> dict[str, float]:
         """Mean / median / p95 rendered-view error (game units)."""
@@ -209,7 +218,22 @@ class WatchmenSession:
         #: positions — sharing never changes results, only avoids repeats.
         self.los_cache = LosCache(self.game_map)
 
-        behaviours = behaviours or {}
+        behaviours = dict(behaviours or {})
+        #: Players running under a Byzantine fault entry this run (the
+        #: chaos harness separates their removals from false evictions).
+        self.byzantine_ids: set[int] = set()
+        if faults is not None and faults.byzantine:
+            self.byzantine_ids = set(faults.byzantine_node_ids())
+            for player_id in self.byzantine_ids:
+                if player_id not in roster:
+                    raise ValueError(
+                        f"byzantine fault names unknown player {player_id}"
+                    )
+                behaviours[player_id] = ByzantineBehaviour(
+                    inner=behaviours.get(player_id) or HonestBehaviour(),
+                    faults=faults.byzantine_for(player_id),
+                    seed=faults.seed + player_id,
+                )
         self.nodes: dict[int, WatchmenNode] = {}
         for player_id in roster:
             node = WatchmenNode(
@@ -225,6 +249,14 @@ class WatchmenSession:
                 registry=self.obs,
                 los_cache=self.los_cache,
             )
+            behaviour = behaviours.get(player_id)
+            if isinstance(behaviour, ByzantineBehaviour):
+                behaviour.bind(node)
+            if self.config.byzantine_hardening:
+                # Protocol-layer rejections (tamper, quarantine) flow into
+                # the transport's unified drop books so messages_lost and
+                # dropped_by_cause stay one coherent account.
+                node.protocol_drop = self.network.count_protocol_drop
             # Seed frame-0 knowledge: FPS "players are usually aware of all
             # entities of the game" when the match starts.
             node.known = dict(trace.frames[0])
@@ -454,6 +486,17 @@ class WatchmenSession:
             self.network.lost
             + self.network.dropped_over_budget
             + self.network.blocked_by_nat
+            + self.network.rejected_by_protocol
+        )
+        report.rejected_by_protocol = self.network.rejected_by_protocol
+        report.equivocations_detected = sum(
+            len(node.equivocation_events) for node in self.nodes.values()
+        )
+        report.quarantines = sum(
+            len(node.quarantine_events) for node in self.nodes.values()
+        )
+        report.evidence_convictions = sum(
+            len(node.membership.convicted) for node in self.nodes.values()
         )
         report.dropped_by_cause = dict(self.network.dropped_by_cause)
         report.crashed = dict(self.crashed)

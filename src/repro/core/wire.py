@@ -29,6 +29,7 @@ from repro.core.messages import (
     HandoffMessage,
     HandoffSummary,
     KillClaim,
+    MisbehaviorEvidence,
     PositionUpdate,
     ProjectileSpawn,
     StateUpdate,
@@ -65,10 +66,19 @@ MESSAGE_TYPES: dict[str, type] = {
     "HandoffMessage": HandoffMessage,
     "RemovalProposal": RemovalProposal,
     "AckMessage": AckMessage,
+    "MisbehaviorEvidence": MisbehaviorEvidence,
 }
 
 #: Payload dataclasses that appear as message fields (encoded as dicts).
-_PAYLOAD_TYPES = (AvatarSnapshot, GuidancePrediction, HandoffSummary, Vec3)
+#: StateUpdate is both a wire message and a payload: misbehavior evidence
+#: nests the two conflicting signed updates it proves with.
+_PAYLOAD_TYPES = (
+    AvatarSnapshot,
+    GuidancePrediction,
+    HandoffSummary,
+    Vec3,
+    StateUpdate,
+)
 
 
 def _encode_value(value: Any) -> Any:

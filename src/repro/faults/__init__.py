@@ -12,6 +12,15 @@ network weather model — it lives in
 :class:`repro.net.transport.NetworkConfig` (``loss_model="gilbert-elliott"``).
 """
 
+from repro.faults.byzantine import (
+    AckWithholdFault,
+    ByzantineBehaviour,
+    ByzantineFault,
+    EquivocationFault,
+    FloodFault,
+    SelectiveForwardFault,
+    TamperFault,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import (
     CrashFault,
@@ -23,11 +32,18 @@ from repro.faults.schedule import (
 )
 
 __all__ = [
+    "AckWithholdFault",
+    "ByzantineBehaviour",
+    "ByzantineFault",
     "CrashFault",
     "CrashProxyFault",
     "DuplicateFault",
+    "EquivocationFault",
     "FaultSchedule",
+    "FloodFault",
     "LatencySpikeFault",
     "PartitionFault",
+    "SelectiveForwardFault",
+    "TamperFault",
     "FaultInjector",
 ]

@@ -34,6 +34,14 @@ from repro.core.config import (
     WatchmenConfig,
 )
 from repro.core.protocol import SessionReport, WatchmenSession
+from repro.faults.byzantine import (
+    AckWithholdFault,
+    ByzantineFault,
+    EquivocationFault,
+    FloodFault,
+    SelectiveForwardFault,
+    TamperFault,
+)
 from repro.faults.schedule import (
     CrashFault,
     CrashProxyFault,
@@ -50,7 +58,9 @@ __all__ = [
     "ChaosScenario",
     "ChaosOutcome",
     "default_scenarios",
+    "byzantine_scenarios",
     "build_schedule",
+    "byzantine_metrics",
     "run_chaos",
 ]
 
@@ -72,6 +82,11 @@ class ChaosScenario:
     latency_spike_ms: float = 0.0
     failover: bool = True
     reliable: bool = True
+    #: Adversarial (Byzantine) fault kind, or "" for pure-fault scenarios:
+    #: equivocation | tamper | flood | selective_forward | ack_withhold.
+    byzantine: str = ""
+    #: Run with ``WatchmenConfig.byzantine_hardening`` enabled.
+    hardening: bool = False
 
 
 def default_scenarios() -> tuple[ChaosScenario, ...]:
@@ -109,6 +124,49 @@ def default_scenarios() -> tuple[ChaosScenario, ...]:
             proxy_kill=True,
             failover=False,
             reliable=False,
+        ),
+    )
+
+
+def byzantine_scenarios() -> tuple[ChaosScenario, ...]:
+    """The adversarial matrix: each attack kind plus a blind contrast.
+
+    Every hardened scenario must detect its attack (SLO: within the
+    detection bound) without quarantining a single honest sender; the
+    ``_blind`` contrast runs the same equivocation with the hardening
+    gate off and must show the attack *landing* — no detection, no
+    conviction, the attacker keeps his seat.
+    """
+    return (
+        ChaosScenario(
+            "byz_equivocation",
+            "one player sends conflicting signed updates per sequence",
+            byzantine="equivocation",
+            hardening=True,
+        ),
+        ChaosScenario(
+            "byz_equivocation_blind",
+            "contrast: the same equivocation with hardening disabled",
+            byzantine="equivocation",
+            hardening=False,
+        ),
+        ChaosScenario(
+            "byz_tamper_relay",
+            "a relaying hop mutates the signed updates it forwards",
+            byzantine="tamper",
+            hardening=True,
+        ),
+        ChaosScenario(
+            "byz_flood",
+            "one player floods three victims with well-formed updates",
+            byzantine="flood",
+            hardening=True,
+        ),
+        ChaosScenario(
+            "byz_starve",
+            "a proxy selectively drops everything bound for one victim",
+            byzantine="selective_forward",
+            hardening=True,
         ),
     )
 
@@ -180,12 +238,64 @@ def build_schedule(
                 end_frame=frame + 2 * PROXY_PERIOD_FRAMES,
             )
         ]
+    byzantine: list[ByzantineFault] = []
+    if scenario.byzantine:
+        # Attacker is ordered[1]: distinct from the proxy-kill target
+        # (ordered[0]), who doubles as the selective-forwarding victim.
+        attacker = ordered[1]
+        if scenario.byzantine == "equivocation":
+            byzantine = [
+                EquivocationFault(
+                    node_id=attacker,
+                    start_frame=frame,
+                    end_frame=frame + 2 * PROXY_PERIOD_FRAMES,
+                )
+            ]
+        elif scenario.byzantine == "tamper":
+            byzantine = [
+                TamperFault(
+                    node_id=attacker,
+                    start_frame=frame,
+                    end_frame=frame + 2 * PROXY_PERIOD_FRAMES,
+                )
+            ]
+        elif scenario.byzantine == "flood":
+            byzantine = [
+                FloodFault(
+                    node_id=attacker,
+                    victims=frozenset(ordered[2:5]),
+                    start_frame=frame,
+                    end_frame=frame + PROXY_PERIOD_FRAMES,
+                )
+            ]
+        elif scenario.byzantine == "selective_forward":
+            byzantine = [
+                SelectiveForwardFault(
+                    node_id=attacker,
+                    victims=frozenset({ordered[0]}),
+                    start_frame=frame,
+                    end_frame=frame + 3 * PROXY_PERIOD_FRAMES,
+                )
+            ]
+        elif scenario.byzantine == "ack_withhold":
+            byzantine = [
+                AckWithholdFault(
+                    node_id=attacker,
+                    start_frame=frame,
+                    end_frame=frame + 3 * PROXY_PERIOD_FRAMES,
+                )
+            ]
+        else:
+            raise ValueError(
+                f"unknown byzantine fault kind {scenario.byzantine!r}"
+            )
     schedule = FaultSchedule(
         crashes=tuple(crashes),
         proxy_crashes=tuple(proxy_crashes),
         partitions=tuple(partitions),
         latency_spikes=tuple(spikes),
         duplications=tuple(duplications),
+        byzantine=tuple(byzantine),
         seed=seed,
     )
     return schedule, frame
@@ -243,9 +353,12 @@ def _run_once(
     failover: bool,
     reliable: bool,
     burst_loss: bool,
+    hardening: bool = False,
 ) -> tuple[SessionReport, WatchmenSession, list[tuple[int, float]]]:
     config = WatchmenConfig(
-        proxy_failover=failover, reliable_delivery=reliable
+        proxy_failover=failover,
+        reliable_delivery=reliable,
+        byzantine_hardening=hardening,
     )
     if burst_loss:
         network_config = NetworkConfig(
@@ -277,7 +390,11 @@ def recovery_metrics(
     report = outcome.report
     session = outcome.session
     fault_frame = outcome.fault_frame
-    legitimately_gone = set(report.crashed) | set(session.departures)
+    # A Byzantine attacker's eviction is the protocol *working*, never a
+    # false eviction — the detector's job is to remove exactly that node.
+    legitimately_gone = (
+        set(report.crashed) | set(session.departures) | session.byzantine_ids
+    )
     falsely_evicted: set[int] = set()
     for node_id, node in session.nodes.items():
         if node_id in legitimately_gone:
@@ -324,6 +441,67 @@ def recovery_metrics(
     }
 
 
+def _first_detection_frame(
+    session: WatchmenSession, kind: str
+) -> int | None:
+    """Earliest frame any node registered the attack's detection signal."""
+    frames: list[int] = []
+    for node in session.nodes.values():
+        if kind == "equivocation":
+            frames.extend(frame for frame, _ in node.equivocation_events)
+        elif kind == "flood":
+            frames.extend(frame for frame, _ in node.quarantine_events)
+        elif kind == "tamper":
+            frames.extend(
+                frame
+                for frame, _, label in node.suspicion_events
+                if label == "tamper_hop"
+            )
+        elif kind in ("selective_forward", "ack_withhold"):
+            wanted = (
+                "starvation" if kind == "selective_forward" else "ack_withhold"
+            )
+            frames.extend(
+                frame
+                for frame, _, label in node.suspicion_events
+                if label == wanted
+            )
+    return min(frames, default=None)
+
+
+def byzantine_metrics(outcome: ChaosOutcome) -> dict[str, float]:
+    """Attack-specific SLO metrics for one Byzantine scenario run."""
+    session = outcome.session
+    report = outcome.report
+    detection = _first_detection_frame(session, outcome.scenario.byzantine)
+    if detection is None:
+        detection_frames = float(report.num_frames)  # sentinel: never seen
+    else:
+        detection_frames = float(max(0, detection - outcome.fault_frame))
+    honest_quarantines = sum(
+        1
+        for node in session.nodes.values()
+        for _, src in node.quarantine_events
+        if src not in session.byzantine_ids
+    )
+    gone = set(report.crashed) | set(session.departures)
+    honest_live = [
+        node
+        for node_id, node in session.nodes.items()
+        if node_id not in session.byzantine_ids and node_id not in gone
+    ]
+    attacker_evicted = all(
+        session.byzantine_ids <= node.membership.removed for node in honest_live
+    )
+    return {
+        "byz_detection_frames": detection_frames,
+        "honest_quarantines": float(honest_quarantines),
+        "equivocations_detected": float(report.equivocations_detected),
+        "evidence_convictions": float(report.evidence_convictions),
+        "attacker_evicted": 1.0 if attacker_evicted else 0.0,
+    }
+
+
 def run_chaos(
     players: int = 16,
     frames: int = 400,
@@ -349,6 +527,7 @@ def run_chaos(
             failover=scenario.failover,
             reliable=scenario.reliable,
             burst_loss=scenario.burst_loss,
+            hardening=scenario.hardening,
         )
         outcome = ChaosOutcome(
             scenario=scenario,
@@ -357,6 +536,9 @@ def run_chaos(
             staleness=staleness,
             fault_frame=fault_frame,
         )
+        metrics = recovery_metrics(outcome, frames, baseline_p95)
+        if scenario.byzantine:
+            metrics.update(byzantine_metrics(outcome))
         results.append(
             {
                 "scenario": scenario.name,
@@ -367,8 +549,10 @@ def run_chaos(
                     "seed": seed,
                     "failover": scenario.failover,
                     "reliable": scenario.reliable,
+                    "byzantine": scenario.byzantine,
+                    "hardening": scenario.hardening,
                 },
-                "metrics": recovery_metrics(outcome, frames, baseline_p95),
+                "metrics": metrics,
             }
         )
     return results

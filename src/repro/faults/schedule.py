@@ -11,6 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults.byzantine import (
+    AckWithholdFault,
+    ByzantineFault,
+    EquivocationFault,
+    FloodFault,
+    SelectiveForwardFault,
+    TamperFault,
+)
+
 __all__ = [
     "CrashFault",
     "CrashProxyFault",
@@ -137,6 +146,9 @@ class FaultSchedule:
     partitions: tuple[PartitionFault, ...] = ()
     latency_spikes: tuple[LatencySpikeFault, ...] = ()
     duplications: tuple[DuplicateFault, ...] = ()
+    #: adversarial entries (repro.faults.byzantine): designated nodes act
+    #: maliciously for a frame window instead of merely failing
+    byzantine: tuple[ByzantineFault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -151,7 +163,15 @@ class FaultSchedule:
             or self.partitions
             or self.latency_spikes
             or self.duplications
+            or self.byzantine
         )
+
+    def byzantine_for(self, node_id: int) -> tuple[ByzantineFault, ...]:
+        """The adversarial entries assigned to one node."""
+        return tuple(f for f in self.byzantine if f.node_id == node_id)
+
+    def byzantine_node_ids(self) -> frozenset[int]:
+        return frozenset(f.node_id for f in self.byzantine)
 
     # ---- persistence ------------------------------------------------------
     #
@@ -200,6 +220,7 @@ class FaultSchedule:
                 }
                 for d in self.duplications
             ],
+            "byzantine": [_byzantine_to_json(b) for b in self.byzantine],
         }
 
     @staticmethod
@@ -225,5 +246,39 @@ class FaultSchedule:
             duplications=tuple(
                 DuplicateFault(**row) for row in data.get("duplications", ())
             ),
+            byzantine=tuple(
+                _byzantine_from_json(row) for row in data.get("byzantine", ())
+            ),
             seed=data.get("seed", 0),
         )
+
+
+# ---- byzantine (de)serialization -----------------------------------------
+#
+# One row per entry with a ``kind`` discriminator; victim sets serialize
+# sorted so identical schedules produce identical bytes.
+
+_BYZANTINE_KINDS: dict[str, type] = {
+    "equivocation": EquivocationFault,
+    "tamper": TamperFault,
+    "selective_forward": SelectiveForwardFault,
+    "flood": FloodFault,
+    "ack_withhold": AckWithholdFault,
+}
+
+
+def _byzantine_to_json(fault: ByzantineFault) -> dict:
+    kind = next(k for k, t in _BYZANTINE_KINDS.items() if type(fault) is t)
+    row: dict = {"kind": kind}
+    for name in fault.__dataclass_fields__:
+        value = getattr(fault, name)
+        row[name] = sorted(value) if isinstance(value, frozenset) else value
+    return row
+
+
+def _byzantine_from_json(row: dict) -> ByzantineFault:
+    fields = dict(row)
+    cls = _BYZANTINE_KINDS[fields.pop("kind")]
+    if "victims" in fields:
+        fields["victims"] = frozenset(fields["victims"])
+    return cls(**fields)

@@ -31,6 +31,9 @@ about any one node's public API.
   rating for the same (subject, frame): duplicated or replayed
   ``KillClaim`` deliveries must be screened by sequence dedup, never
   double-judged.
+* ``equivocator_convicted`` — every honest node's membership view has
+  removed every Byzantine attacker at quiescence, no matter how the
+  evidence broadcasts were dropped, duplicated or reordered.
 """
 
 from __future__ import annotations
@@ -55,11 +58,18 @@ InvariantFn = Callable[[WatchmenSession], "str | None"]
 
 
 def live_nodes(session: WatchmenSession) -> dict[int, WatchmenNode]:
-    """Nodes still running at the end of the session."""
+    """Honest nodes still running at the end of the session.
+
+    Byzantine attackers are excluded: their eviction is the protocol
+    working, so honest-safety invariants must not count them as victims,
+    and agreement is a property of the honest nodes' views.
+    """
     return {
         node_id: node
         for node_id, node in session.nodes.items()
-        if node_id not in session.crashed and node_id not in session.departures
+        if node_id not in session.crashed
+        and node_id not in session.departures
+        and node_id not in session.byzantine_ids
     }
 
 
@@ -155,10 +165,32 @@ def single_kill_credit(session: WatchmenSession) -> str | None:
     return None
 
 
+def equivocator_convicted(session: WatchmenSession) -> str | None:
+    """Every honest node removed every Byzantine attacker at quiescence.
+
+    Evidence broadcasts may be dropped, duplicated or reordered by the
+    schedule; the ACK retry ladder plus the idempotent
+    :meth:`~repro.core.membership.MembershipView.convict` must still
+    deliver exactly one conviction to every honest membership view.
+    """
+    if not session.byzantine_ids:
+        return None
+    for node_id, node in sorted(live_nodes(session).items()):
+        missing = session.byzantine_ids - node.membership.removed
+        if missing:
+            return (
+                f"node {node_id} never removed equivocator(s) "
+                f"{sorted(missing)} (roster: "
+                f"{sorted(node.membership.current_roster())})"
+            )
+    return None
+
+
 #: name → predicate, the vocabulary scenarios use to declare their checks
 INVARIANTS: dict[str, InvariantFn] = {
     "no_false_eviction": no_false_eviction,
     "membership_agreement": membership_agreement,
     "no_orphaned_subscription": no_orphaned_subscription,
     "single_kill_credit": single_kill_credit,
+    "equivocator_convicted": equivocator_convicted,
 }

@@ -30,9 +30,11 @@ from typing import Any, Mapping
 from repro.core.messages import (
     HandoffMessage,
     KillClaim,
+    MisbehaviorEvidence,
     RemovalProposal,
     SubscriptionRequest,
 )
+from repro.faults.byzantine import EquivocationFault
 from repro.faults.schedule import FaultSchedule, PartitionFault
 from repro.mc.controller import Action
 from repro.replay.scenario import TapeScenario
@@ -188,7 +190,62 @@ _KILL = McScenario(
     defer_limit=1,
 )
 
-SCENARIOS: tuple[McScenario, ...] = (_HANDOFF, _EVICTION, _KILL)
+#: Equivocation-evidence quorum: four players, one equivocating for half
+#: a shrunken epoch.  Every witness broadcasts one self-certifying
+#: :class:`~repro.core.messages.MisbehaviorEvidence`; the explorer drops,
+#: duplicates and reorders those broadcasts.  The properties under test:
+#: duplicate or reordered evidence convicts *exactly once* (the first
+#: conviction pins the removal epoch; ``MembershipView.convict`` is
+#: idempotent), dropped evidence is healed by the ACK retry ladder, and
+#: every honest node ends on the same roster — with the equivocator gone
+#: — regardless of which witness's evidence arrived first.  The
+#: equivocator's frames straddle an epoch boundary on purpose, so
+#: different witnesses pin *different* due epochs; agreement must still
+#: hold at quiescence.  ``controlled_src`` confines the decision space to
+#: witness 0's broadcasts — the other witnesses' evidence rides the
+#: ordinary network, already convicting everyone, so the explorer probes
+#: the *redundant* lane: every way of dropping, duplicating or delaying
+#: one witness's evidence against a backdrop of competing evidence, which
+#: is exactly where a non-idempotent convict() or a rescindable
+#: conviction would diverge.  Keeping the space single-witness is what
+#: lets the exploration complete exhaustively under CI's coverage gate.
+_EVIDENCE = McScenario(
+    name="equivocation-evidence",
+    description=(
+        "duplicated and reordered misbehavior evidence must convict the "
+        "equivocator exactly once, on every honest node"
+    ),
+    base=TapeScenario(
+        players=4,
+        frames=96,
+        seed=9,
+        latency="lan",
+        loss_rate=0.0,
+        jitter_ms=0.0,
+    ),
+    controlled=_names(MisbehaviorEvidence),
+    window=(20, 44),
+    invariants=(
+        "no_false_eviction",
+        "membership_agreement",
+        "equivocator_convicted",
+    ),
+    config={"proxy_period_frames": 24, "byzantine_hardening": True},
+    faults=FaultSchedule(
+        byzantine=(
+            EquivocationFault(node_id=3, start_frame=20, end_frame=32),
+        ),
+        seed=9,
+    ),
+    drop_budget=1,
+    dup_budget=1,
+    defer_limit=2,
+    defer_budget=2,
+    controlled_src=(0,),
+    max_executions=1500,
+)
+
+SCENARIOS: tuple[McScenario, ...] = (_HANDOFF, _EVICTION, _KILL, _EVIDENCE)
 
 
 def scenario_by_name(name: str) -> McScenario:

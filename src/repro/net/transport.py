@@ -115,8 +115,11 @@ class DatagramNetwork:
         self.blocked_by_nat = 0
         self.dropped_over_budget = 0
         self.duplicated = 0
+        #: Datagrams delivered but refused by the receiving protocol layer
+        #: (tamper rejection, quarantine) — see :meth:`count_protocol_drop`.
+        self.rejected_by_protocol = 0
         #: Unified drop accounting: every way a datagram dies, by cause
-        #: (loss | budget | nat | partition | crashed).
+        #: (loss | budget | nat | partition | crashed | tamper | quarantine).
         self.dropped_by_cause: dict[str, int] = {}
         #: Optional fault injector (see :mod:`repro.faults`); attaching one
         #: with an empty schedule leaves all behaviour bit-identical.
@@ -178,6 +181,18 @@ class DatagramNetwork:
         self.lost += 1
         self._ctr_lost.inc()
         self._count_drop("schedule")
+
+    def count_protocol_drop(self, cause: str) -> None:
+        """Account a datagram the *receiving node* refused after delivery.
+
+        The Byzantine hardening drops traffic above the transport (a
+        tampered signature, a quarantined link); folding those into the
+        same ``net.dropped.{cause}`` registry keeps ``messages_lost``
+        consistent with the PR 4 convention that every dead datagram has
+        exactly one cause counter.
+        """
+        self.rejected_by_protocol += 1
+        self._count_drop(cause)
 
     def _count_drop(self, cause: str) -> None:
         self.dropped_by_cause[cause] = self.dropped_by_cause.get(cause, 0) + 1

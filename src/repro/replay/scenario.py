@@ -29,7 +29,12 @@ from repro.cheats.state import (
 )
 from repro.core.config import WatchmenConfig
 from repro.core.protocol import WatchmenSession
-from repro.faults.chaos import build_schedule, default_scenarios
+from repro.faults.chaos import (
+    ChaosScenario,
+    build_schedule,
+    byzantine_scenarios,
+    default_scenarios,
+)
 from repro.faults.schedule import FaultSchedule
 from repro.game.gamemap import GameMap, make_corridors, make_longest_yard
 from repro.game.simulator import generate_trace
@@ -110,11 +115,15 @@ class TapeScenario:
     loss_model: str = "iid"  # "iid" | "gilbert-elliott"
     servers: int = 0
     #: chaos scenario name from :func:`repro.faults.chaos.default_scenarios`
-    #: (provenance only — the *materialised* schedule embedded in the tape
-    #: is authoritative at verify time), or None for a fault-free run
+    #: or :func:`repro.faults.chaos.byzantine_scenarios` (provenance only —
+    #: the *materialised* schedule embedded in the tape is authoritative at
+    #: verify time), or None for a fault-free run
     chaos: str | None = None
     failover: bool = True
     reliable: bool = True
+    #: run with ``WatchmenConfig.byzantine_hardening`` enabled (adopted
+    #: from the named chaos scenario by :meth:`with_chaos_flags`)
+    hardening: bool = False
     cheats: tuple[CheatSpec, ...] = ()
     #: model-checker envelope (``repro mc`` counterexample tapes only):
     #: config overrides, controlled message types, decision window, fault
@@ -152,6 +161,7 @@ class TapeScenario:
             "chaos": self.chaos,
             "failover": self.failover,
             "reliable": self.reliable,
+            "hardening": self.hardening,
             "cheats": [spec.to_json() for spec in self.cheats],
         }
         if self.mc is not None:
@@ -183,30 +193,38 @@ class TapeScenario:
         trace.map_name = self.map_name
         return trace
 
-    def make_faults(self, roster: list[int]) -> FaultSchedule | None:
-        """Materialise the chaos scenario's faults (record time only)."""
-        if self.chaos is None:
-            return None
-        by_name = {entry.name: entry for entry in default_scenarios()}
+    def _chaos_entry(self) -> "ChaosScenario":
+        by_name = {
+            entry.name: entry
+            for entry in default_scenarios() + byzantine_scenarios()
+        }
         if self.chaos not in by_name:
             raise ValueError(
                 f"unknown chaos scenario {self.chaos!r} "
                 f"(known: {', '.join(sorted(by_name))})"
             )
+        return by_name[self.chaos]
+
+    def make_faults(self, roster: list[int]) -> FaultSchedule | None:
+        """Materialise the chaos scenario's faults (record time only)."""
+        if self.chaos is None:
+            return None
         schedule, _ = build_schedule(
-            by_name[self.chaos], roster, self.frames, self.seed
+            self._chaos_entry(), roster, self.frames, self.seed
         )
         return schedule
 
     def with_chaos_flags(self) -> "TapeScenario":
-        """Adopt the named chaos scenario's failover/reliability flags."""
+        """Adopt the named chaos scenario's failover/reliability/hardening."""
         if self.chaos is None:
             return self
-        by_name = {entry.name: entry for entry in default_scenarios()}
-        if self.chaos not in by_name:
-            raise ValueError(f"unknown chaos scenario {self.chaos!r}")
-        entry = by_name[self.chaos]
-        return replace(self, failover=entry.failover, reliable=entry.reliable)
+        entry = self._chaos_entry()
+        return replace(
+            self,
+            failover=entry.failover,
+            reliable=entry.reliable,
+            hardening=entry.hardening,
+        )
 
     def make_latency(self, size: int) -> LatencyMatrix:
         if self.latency == "king":
@@ -219,6 +237,7 @@ class TapeScenario:
         overrides: dict[str, Any] = {}
         if self.mc is not None:
             overrides = dict(self.mc.get("config", {}))
+        overrides.setdefault("byzantine_hardening", self.hardening)
         return WatchmenConfig(
             proxy_failover=self.failover,
             reliable_delivery=self.reliable,
@@ -273,11 +292,15 @@ class TapeScenario:
 
 #: the committed golden corpus (see ``tests/tapes/`` and ``make tapes``):
 #: small, seeded, a few hundred frames — one honest baseline, one chaos
-#: run with a materialised fault schedule, one cheater-heavy match
+#: run with a materialised fault schedule, one Byzantine equivocation run
+#: under hardening, one cheater-heavy match
 GOLDEN_PRESETS: dict[str, TapeScenario] = {
     "normal": TapeScenario(players=8, frames=220, seed=42),
     "chaos": TapeScenario(
         players=10, frames=240, seed=7, chaos="proxy_kill_midepoch"
+    ).with_chaos_flags(),
+    "byzantine": TapeScenario(
+        players=10, frames=240, seed=17, chaos="byz_equivocation"
     ).with_chaos_flags(),
     "cheater": TapeScenario(
         players=8,

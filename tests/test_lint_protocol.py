@@ -267,7 +267,7 @@ class TestRealRepo:
         assert sources.exists()
         assert run_protocol_rules(sources, src_root=REPO_ROOT / "src") == []
 
-    def test_repo_union_has_all_nine_messages(self):
+    def test_repo_union_has_all_ten_messages(self):
         import ast
 
         from repro.lint.protocol import union_member_names
@@ -277,7 +277,8 @@ class TestRealRepo:
         assert "StateUpdate" in members
         assert "RemovalProposal" in members  # the imported-member case
         assert "AckMessage" in members  # the reliable-delivery receipt
-        assert len(members) == 9
+        assert "MisbehaviorEvidence" in members  # the equivocation proof
+        assert len(members) == 10
 
 
 class TestRealRepoMutations:
@@ -311,8 +312,8 @@ class TestRealRepoMutations:
         violations = self._mutated(
             tmp_path,
             "messages.py",
-            "    RemovalProposal,\n    AckMessage,\n]",
-            "    RemovalProposal,\n]",
+            "    RemovalProposal,\n    AckMessage,\n    MisbehaviorEvidence,\n]",
+            "    RemovalProposal,\n    MisbehaviorEvidence,\n]",
         )
         assert [v.rule for v in violations] == ["P205"]
         assert "union" in violations[0].message

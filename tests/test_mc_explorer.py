@@ -184,7 +184,12 @@ class TestExhaustiveExploration:
 
 def test_scenario_registry():
     names = [s.name for s in SCENARIOS]
-    assert names == ["handoff-subscription", "crash-eviction", "kill-claim"]
+    assert names == [
+        "handoff-subscription",
+        "crash-eviction",
+        "kill-claim",
+        "equivocation-evidence",
+    ]
     for scenario in SCENARIOS:
         for invariant in scenario.invariants:
             assert invariant in INVARIANTS

@@ -7,6 +7,7 @@ from types import SimpleNamespace
 from repro.core.verification import CheckKind
 from repro.mc.invariants import (
     INVARIANTS,
+    equivocator_convicted,
     live_nodes,
     membership_agreement,
     no_false_eviction,
@@ -14,16 +15,22 @@ from repro.mc.invariants import (
 )
 
 
-def node(roster=(), ratings=()):
+def node(roster=(), ratings=(), removed=()):
     return SimpleNamespace(
-        membership=SimpleNamespace(current_roster=lambda r=tuple(roster): list(r)),
+        membership=SimpleNamespace(
+            current_roster=lambda r=tuple(roster): list(r),
+            removed=set(removed),
+        ),
         metrics=SimpleNamespace(ratings=list(ratings)),
     )
 
 
-def session(nodes, crashed=(), departures=()):
+def session(nodes, crashed=(), departures=(), byzantine=()):
     return SimpleNamespace(
-        nodes=nodes, crashed=set(crashed), departures=set(departures)
+        nodes=nodes,
+        crashed=set(crashed),
+        departures=set(departures),
+        byzantine_ids=set(byzantine),
     )
 
 
@@ -37,6 +44,10 @@ class TestLiveNodes:
     def test_excludes_crashed_and_departed(self):
         s = session({0: node(), 1: node(), 2: node()}, crashed={1}, departures={2})
         assert set(live_nodes(s)) == {0}
+
+    def test_excludes_byzantine_attackers(self):
+        s = session({0: node(), 1: node(), 2: node()}, byzantine={2})
+        assert set(live_nodes(s)) == {0, 1}
 
 
 class TestNoFalseEviction:
@@ -121,10 +132,37 @@ class TestSingleKillCredit:
         assert single_kill_credit(s) is None
 
 
+class TestEquivocatorConvicted:
+    def test_vacuous_without_attackers(self):
+        s = session({0: node((0, 1))})
+        assert equivocator_convicted(s) is None
+
+    def test_every_live_node_must_remove_the_attacker(self):
+        s = session(
+            {
+                0: node((0, 1), removed={2}),
+                1: node((0, 1), removed={2}),
+                2: node((0, 1, 2)),
+            },
+            byzantine={2},
+        )
+        assert equivocator_convicted(s) is None
+
+    def test_missing_conviction_is_reported(self):
+        s = session(
+            {0: node((0, 1), removed={2}), 1: node((0, 1, 2))},
+            byzantine={2},
+        )
+        message = equivocator_convicted(s)
+        assert message is not None
+        assert "node 1 never removed equivocator(s) [2]" in message
+
+
 def test_registry_names_every_invariant():
     assert set(INVARIANTS) == {
         "no_false_eviction",
         "membership_agreement",
         "no_orphaned_subscription",
         "single_kill_credit",
+        "equivocator_convicted",
     }
