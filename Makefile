@@ -33,6 +33,7 @@ bench:
 	REPRO_BENCH_SMOKE=1 PYTHONPATH=src:benchmarks $(PYTHON) -m pytest \
 		benchmarks/bench_scalability.py benchmarks/bench_crypto.py \
 		benchmarks/bench_interest.py benchmarks/bench_tape.py \
+		benchmarks/bench_wire.py benchmarks/bench_kernels.py \
 		-q --benchmark-disable
 
 # Regenerate the golden tape corpus (docs/REPLAY.md).  Recording is

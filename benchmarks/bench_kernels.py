@@ -1,0 +1,237 @@
+"""Batched frame kernels vs their retained scalar references.
+
+The simulator's per-frame hot loops — physics integration, dead-reckoning
+trajectory simulation/deviation, attention scoring — each ship a flat
+batched kernel whose naive implementation is retained verbatim as the
+exactness gate (tests/test_game_kernels.py asserts bit-identity).  This
+bench pins the *performance* half of that contract: for each kernel it
+times fast vs naive on deterministic synthetic workloads and publishes
+
+- ``physics_ratio_fast_over_naive.n48`` — ``Physics.step_many`` over a
+  48-avatar roster vs per-avatar ``Physics.step``;
+- ``guidance_ratio_fast_over_naive`` — flat ``simulate_guidance`` vs the
+  per-frame ``position_at`` reference;
+- ``deviation_ratio_fast_over_naive`` — inlined
+  ``trajectory_deviation_area`` vs the ``Vec3``-per-pair reference;
+- ``attention_ratio_fast_over_naive.n48`` — batched
+  ``ObserverFrame.attention_scores`` vs the per-pair naive reference.
+
+Ratios are machine-independent costs the bench-diff CI gate watches; each
+also carries a hard in-bench ceiling so a regressed kernel fails loudly.
+The committed baseline pins every ratio at ``ceiling / 1.25`` so the
+bench-diff gate's 25 % threshold trips at exactly the in-bench ceiling —
+run-to-run timing noise below the ceiling never fails CI, a genuine
+kernel regression fails both gates at the same number.  Equality of fast
+and naive outputs is asserted before any timing (cheap insurance on top
+of the property tests).
+"""
+
+import math
+import time
+from random import Random
+
+from repro.game.deadreckoning import (
+    GuidancePrediction,
+    simulate_guidance,
+    simulate_guidance_reference,
+    trajectory_deviation_area,
+    trajectory_deviation_area_reference,
+)
+from repro.game.avatar import AvatarSnapshot
+from repro.game.interest import (
+    InteractionRecency,
+    InterestConfig,
+    ObserverFrame,
+    _attention_score_reference,
+)
+from repro.game.physics import MoveIntent, Physics
+from repro.game.vector import Vec3
+
+from conftest import SMOKE, publish
+
+PLAYERS = 48  # paper scale, always: the kernels exist for this roster size
+SEED = 2013
+#: Keep timing each path until it has run at least this long (noise floor).
+MIN_MEASURE_SECONDS = 0.05 if SMOKE else 0.25
+#: Acceptance ceilings (fast/naive cost; measured ~0.17-0.42 locally).
+RATIO_CEILINGS = {
+    "physics_ratio_fast_over_naive.n48": 0.85,
+    "guidance_ratio_fast_over_naive": 0.85,
+    "deviation_ratio_fast_over_naive": 0.60,
+    "attention_ratio_fast_over_naive.n48": 0.70,
+}
+
+
+def _measure(op, base_reps: int) -> float:
+    """Seconds per rep: run batches of ``base_reps`` until the noise floor."""
+    total = 0.0
+    reps = 0
+    while total < MIN_MEASURE_SECONDS:
+        start = time.perf_counter()
+        for _ in range(base_reps):
+            op()
+        total += time.perf_counter() - start
+        reps += base_reps
+    return total / reps
+
+
+def _physics_batch(game_map, count: int):
+    rng = Random(SEED)
+    batch = []
+    for _ in range(count):
+        position = Vec3(
+            rng.uniform(-2000.0, 2000.0),
+            rng.uniform(-2000.0, 2000.0),
+            rng.uniform(-100.0, 400.0),
+        )
+        velocity = Vec3(
+            rng.uniform(-300.0, 300.0),
+            rng.uniform(-300.0, 300.0),
+            rng.uniform(-600.0, 300.0),
+        )
+        intent = MoveIntent(
+            wish_direction=Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1), 0.0),
+            wish_speed=rng.uniform(0.0, 360.0),
+            jump=rng.random() < 0.2,
+            yaw=rng.uniform(-math.pi, math.pi),
+        )
+        batch.append((position, velocity, rng.uniform(-math.pi, math.pi), intent))
+    return batch
+
+
+def _roster(count: int) -> dict[int, AvatarSnapshot]:
+    rng = Random(SEED + 1)
+    return {
+        pid: AvatarSnapshot(
+            player_id=pid,
+            frame=0,
+            position=Vec3(
+                rng.uniform(-2000.0, 2000.0),
+                rng.uniform(-2000.0, 2000.0),
+                rng.uniform(0.0, 300.0),
+            ),
+            velocity=Vec3(),
+            yaw=rng.uniform(-math.pi, math.pi),
+            health=100,
+            armor=0,
+            weapon="machinegun",
+            ammo=10,
+            alive=True,
+        )
+        for pid in range(count)
+    }
+
+
+def test_kernels_beat_references(yard, results_dir):
+    wall_start = time.perf_counter()
+    metrics: dict[str, float] = {}
+    lines = []
+
+    # -- physics -----------------------------------------------------------
+    physics = Physics(yard)
+    batch = _physics_batch(yard, PLAYERS)
+    assert physics.step_many(batch) == [physics.step(*args) for args in batch]
+    naive = _measure(lambda: [physics.step(*args) for args in batch], 4)
+    fast = _measure(lambda: physics.step_many(batch), 4)
+    metrics[f"physics_ratio_fast_over_naive.n{PLAYERS}"] = fast / naive
+    lines.append(
+        f"physics step_many (n={PLAYERS}):  {naive * 1e6:8.0f}us naive | "
+        f"{fast * 1e6:8.0f}us fast | {naive / fast:.2f}x"
+    )
+
+    # -- dead reckoning ----------------------------------------------------
+    prediction = GuidancePrediction(
+        frame=100,
+        origin=Vec3(10.0, -20.0, 64.0),
+        velocity=Vec3(120.0, -40.0, 0.0),
+        yaw=0.3,
+        horizon_frames=20,
+    )
+    span = (95, 130)
+    assert simulate_guidance(prediction, *span) == simulate_guidance_reference(
+        prediction, *span
+    )
+    naive = _measure(lambda: simulate_guidance_reference(prediction, *span), 64)
+    fast = _measure(lambda: simulate_guidance(prediction, *span), 64)
+    metrics["guidance_ratio_fast_over_naive"] = fast / naive
+    lines.append(
+        f"simulate_guidance (36 frames):   {naive * 1e6:8.1f}us naive | "
+        f"{fast * 1e6:8.1f}us fast | {naive / fast:.2f}x"
+    )
+
+    rng = Random(SEED + 2)
+    predicted = simulate_guidance(prediction, *span)
+    actual = [
+        Vec3(p.x + rng.uniform(-8, 8), p.y + rng.uniform(-8, 8), p.z)
+        for p in predicted
+    ]
+    assert trajectory_deviation_area(
+        predicted, actual
+    ) == trajectory_deviation_area_reference(predicted, actual)
+    naive = _measure(
+        lambda: trajectory_deviation_area_reference(predicted, actual), 64
+    )
+    fast = _measure(lambda: trajectory_deviation_area(predicted, actual), 64)
+    metrics["deviation_ratio_fast_over_naive"] = fast / naive
+    lines.append(
+        f"trajectory_deviation_area:       {naive * 1e6:8.1f}us naive | "
+        f"{fast * 1e6:8.1f}us fast | {naive / fast:.2f}x"
+    )
+
+    # -- attention scoring -------------------------------------------------
+    roster = _roster(PLAYERS)
+    config = InterestConfig()
+    recency = InteractionRecency()
+    rng = Random(SEED + 3)
+    for _ in range(PLAYERS):
+        a, b = rng.randrange(PLAYERS), rng.randrange(PLAYERS)
+        if a != b:
+            recency.record(a, b, rng.randrange(50))
+    oframe = ObserverFrame(roster[0], config)
+    candidates = [pid for pid in roster if pid != 0]
+    batched = oframe.attention_scores(roster, candidates, 50, recency)
+    assert batched == {
+        pid: _attention_score_reference(roster[0], roster[pid], 50, config, recency)
+        for pid in candidates
+    }
+    naive = _measure(
+        lambda: [
+            _attention_score_reference(
+                roster[0], roster[pid], 50, config, recency
+            )
+            for pid in candidates
+        ],
+        16,
+    )
+    fast = _measure(
+        lambda: oframe.attention_scores(roster, candidates, 50, recency), 16
+    )
+    metrics[f"attention_ratio_fast_over_naive.n{PLAYERS}"] = fast / naive
+    lines.append(
+        f"attention_scores (n={PLAYERS}):     {naive * 1e6:8.1f}us naive | "
+        f"{fast * 1e6:8.1f}us fast | {naive / fast:.2f}x"
+    )
+
+    wall = time.perf_counter() - wall_start
+    publish(
+        results_dir,
+        "frame_kernels",
+        "Batched frame kernels vs retained scalar references",
+        "\n".join(lines)
+        + "\n(fast = flat batched kernels; naive = retained references; "
+        "bit-identity enforced by tests/test_game_kernels.py)\n",
+        params={
+            "players": PLAYERS,
+            "seed": SEED,
+            "min_measure_seconds": MIN_MEASURE_SECONDS,
+            "smoke": SMOKE,
+        },
+        metrics=metrics,
+        wall_seconds=wall,
+    )
+
+    for name, ceiling in RATIO_CEILINGS.items():
+        assert metrics[name] <= ceiling, (
+            f"{name} = {metrics[name]:.3f} exceeds acceptance ceiling "
+            f"{ceiling} (kernel regressed towards its naive reference)"
+        )

@@ -12,6 +12,8 @@ quotable numbers directly:
   coalition dead-reckoning-or-better about everyone.
 """
 
+import time
+
 from repro.analysis import (
     exposure_experiment,
     honest_proxy_probability,
@@ -19,6 +21,7 @@ from repro.analysis import (
 )
 from repro.analysis.exposure import result_matrix
 from repro.analysis.report import render_exposure, render_witnesses
+from repro.core.config import FRAME_SECONDS
 from repro.core.disclosure import ExposureCategory
 from repro.game import generate_trace
 
@@ -84,3 +87,43 @@ def test_paper_scale_48_players(benchmark, yard, results_dir):
     assert 0.15 <= min_info <= 0.6
     # Donnybrook exposes everyone.
     assert donny_informed > 0.99
+
+
+def test_paper_scale_realtime(yard, results_dir):
+    """A full 48-player, 2-minute match must simulate faster than real time.
+
+    The batched frame kernels exist so paper-scale experiments stop being
+    the bottleneck: 48 players x 2400 frames covers 120 simulated seconds,
+    and this gate requires the whole trace generation (bots, physics,
+    combat, items) to finish in less wall time than it simulates.  Always
+    runs at full scale — a smoke-sized roster would not test the claim.
+    """
+    players, frames = 48, 2400
+    simulated = frames * FRAME_SECONDS
+
+    start = time.perf_counter()
+    trace = generate_trace(
+        num_players=players, num_frames=frames, seed=7, game_map=yard
+    )
+    wall = time.perf_counter() - start
+    ratio = wall / simulated
+
+    assert trace.num_frames == frames
+    body = (
+        f"players={players} frames={frames} seed=7\n"
+        f"simulated duration: {simulated:.1f}s\n"
+        f"wall clock:         {wall:.1f}s\n"
+        f"realtime ratio:     {ratio:.3f} (gate: < 1.0)\n"
+    )
+    publish(
+        results_dir,
+        "paper_scale_realtime",
+        "Paper scale — 48-player match vs real time",
+        body,
+        params={"players": players, "frames": frames, "seed": 7},
+        metrics={"realtime_ratio": ratio},
+        wall_seconds=wall,
+    )
+    assert wall < simulated, (
+        f"48-player match took {wall:.1f}s wall for {simulated:.1f}s simulated"
+    )

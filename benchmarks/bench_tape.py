@@ -3,19 +3,24 @@
 The recorder's contract (docs/REPLAY.md) is that record mode is pure
 observation: during the run it only appends payload references, and all
 wire encoding happens in ``finalize()`` after the loop.  This bench holds
-it to the acceptance number — **<= 10 % frame-loop wall overhead at 32
-players** — by running the identical session untapped and tapped in
-interleaved pairs and publishing the ratio:
+it to the acceptance number — **<= 10 % frame-loop wall overhead** — by
+running the identical session untapped and tapped in interleaved pairs
+and publishing the ratio:
 
-- ``overhead_ratio.n32`` — tapped / untapped frame-loop wall (median of
+- ``overhead_ratio.nN`` — tapped / untapped frame-loop wall (median of
   per-pair ratios; pairs run back-to-back so both sides see the same
-  machine conditions, and the order alternates so drift cancels).  The
-  committed baseline pins this at 0.88, so the bench-diff gate's 25 %
-  threshold trips at exactly 0.88 x 1.25 = 1.10: a recorder that slows
-  the loop by more than 10 % fails CI.
-- ``tape_messages.n32`` / ``tape_payload_bytes.n32`` — deterministic
+  machine conditions, and the order alternates so drift cancels).  A
+  ratio above 1.10 fails the in-bench gate outright, and the committed
+  baseline keeps the bench-diff 25 % threshold tight around the
+  recorded value.
+- ``tape_messages.nN`` / ``tape_payload_bytes.nN`` — deterministic
   stream totals; any drift means the wire behaviour changed.
 - ``finalize_seconds`` lands in the body text only (machine-dependent).
+
+Smoke runs use a 12-player, 60-frame session (seconds, not half a
+minute); the full run measures the documented 32-player, 240-frame
+contract.  The ``.nN`` metric suffix follows the roster size, so the two
+modes pin separate baseline rows instead of fighting over one key.
 
 A byte-identity assertion rides along: two recordings of the same
 scenario must produce identical fingerprints.
@@ -28,11 +33,11 @@ from repro.replay import TapeRecorder, TapeScenario
 
 from conftest import SMOKE, publish
 
-PLAYERS = 32
-FRAMES = 100 if SMOKE else 240
+PLAYERS = 12 if SMOKE else 32
+FRAMES = 60 if SMOKE else 240
 SEED = 2013
 MIN_PAIRS = 3 if SMOKE else 4
-MAX_PAIRS = 6
+MAX_PAIRS = 8 if SMOKE else 6
 
 
 def _scenario() -> TapeScenario:
@@ -147,9 +152,9 @@ def test_tape_record_overhead(results_dir):
             "smoke": SMOKE,
         },
         metrics={
-            "overhead_ratio.n32": ratio,
-            "tape_messages.n32": float(tape.num_messages),
-            "tape_payload_bytes.n32": float(tape.payload_bytes),
+            f"overhead_ratio.n{PLAYERS}": ratio,
+            f"tape_messages.n{PLAYERS}": float(tape.num_messages),
+            f"tape_payload_bytes.n{PLAYERS}": float(tape.payload_bytes),
         },
         wall_seconds=sum(untapped_walls) + sum(tapped_walls),
     )

@@ -1,0 +1,105 @@
+"""Binary wire codec vs the JSON envelope, on real recorded traffic.
+
+The paper budgets ~1024 bits for a signed update; the JSON envelope the
+repo started with spends 4-8x that on field names and 17-significant-digit
+float reprs.  This bench records one deterministic session, re-encodes
+every datagram both ways, and publishes the bandwidth story the
+scalability numbers now rest on:
+
+- ``bytes_ratio_binary_over_json`` — total binary bytes / total JSON
+  bytes over the whole recorded stream (the acceptance floor is a >=5x
+  shrink, i.e. ratio <= 0.2);
+- ``signed_state_update_max_bytes`` — the largest signed ``StateUpdate``
+  on the wire, which must stay within 2x the paper's 1024-bit figure;
+- ``mean_bytes.<MessageType>`` — per-type mean binary frame size
+  (deterministic for the pinned scenario, so the bench-diff gate pins
+  the codec's framing byte-for-byte).
+
+Everything here is byte counting over a seeded recording — no timing —
+so the published metrics are machine-independent and the gate is exact.
+"""
+
+from collections import defaultdict
+
+from repro.core.wire import decode_bytes, encode_json_bytes
+from repro.replay import TapeScenario, record_session
+
+from conftest import SMOKE, publish
+
+PLAYERS = 8
+FRAMES = 60
+SEED = 2013
+#: Acceptance: binary traffic must be at least this many times smaller.
+SHRINK_FLOOR = 5.0
+#: Acceptance: a signed update stays within 2x the paper's 1024 bits.
+SIGNED_UPDATE_CEILING_BITS = 2 * 1024
+
+
+def test_binary_codec_beats_json(results_dir):
+    tape = record_session(TapeScenario(players=PLAYERS, frames=FRAMES, seed=SEED))
+
+    binary_bytes: dict[str, int] = defaultdict(int)
+    json_bytes: dict[str, int] = defaultdict(int)
+    counts: dict[str, int] = defaultdict(int)
+    signed_update_max = 0
+    for frame in tape.frames:
+        for taped in frame.messages:
+            message = decode_bytes(taped.payload)
+            name = type(message).__name__
+            binary_bytes[name] += len(taped.payload)
+            json_bytes[name] += len(encode_json_bytes(message))
+            counts[name] += 1
+            if name == "StateUpdate" and message.signature is not None:
+                signed_update_max = max(signed_update_max, len(taped.payload))
+
+    total_binary = sum(binary_bytes.values())
+    total_json = sum(json_bytes.values())
+    ratio = total_binary / total_json
+
+    lines = [
+        f"{name:>20s}: n={counts[name]:5d}  "
+        f"binary {binary_bytes[name] / counts[name]:7.1f} B  "
+        f"json {json_bytes[name] / counts[name]:7.1f} B  "
+        f"shrink {json_bytes[name] / binary_bytes[name]:.2f}x"
+        for name in sorted(counts)
+    ]
+    lines.append(
+        f"{'total':>20s}: {total_binary:,} B binary vs {total_json:,} B json "
+        f"({total_json / total_binary:.2f}x, gate: >={SHRINK_FLOOR}x)"
+    )
+    lines.append(
+        f"largest signed StateUpdate: {signed_update_max} B "
+        f"= {signed_update_max * 8} bits "
+        f"(paper budget 1024, gate: <= {SIGNED_UPDATE_CEILING_BITS})"
+    )
+
+    metrics: dict[str, float] = {
+        "bytes_ratio_binary_over_json": ratio,
+        "signed_state_update_max_bytes": float(signed_update_max),
+    }
+    for name in sorted(counts):
+        metrics[f"mean_bytes.{name}"] = binary_bytes[name] / counts[name]
+
+    publish(
+        results_dir,
+        "wire_codec",
+        "Binary wire codec vs JSON envelope (recorded session traffic)",
+        "\n".join(lines),
+        params={
+            "players": PLAYERS,
+            "frames": FRAMES,
+            "seed": SEED,
+            "smoke": SMOKE,
+        },
+        metrics=metrics,
+    )
+
+    assert signed_update_max > 0, "session recorded no signed StateUpdate"
+    assert ratio <= 1.0 / SHRINK_FLOOR, (
+        f"binary traffic is only {1.0 / ratio:.2f}x smaller than JSON; "
+        f"acceptance requires >={SHRINK_FLOOR}x"
+    )
+    assert signed_update_max * 8 <= SIGNED_UPDATE_CEILING_BITS, (
+        f"signed StateUpdate is {signed_update_max * 8} bits on the wire; "
+        f"must stay within 2x the paper's 1024-bit budget"
+    )

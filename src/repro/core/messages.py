@@ -12,7 +12,6 @@ size oracle used by the bandwidth accounting.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -245,70 +244,23 @@ def signable_bytes(message: GameMessage) -> bytes:
     """A canonical byte encoding of a message (without its signature).
 
     Used both to sign and to verify; any field change (a tampering proxy)
-    changes these bytes and invalidates the signature.
+    changes these bytes and invalidates the signature.  The encoding is
+    the binary wire frame minus the top-level signature field — the bytes
+    a node signs are literally the bytes it transmits, so there is one
+    canonical form per message and nothing to re-serialize on verify.
+    Nested signatures (the signed updates inside MisbehaviorEvidence)
+    stay covered: the evidence's meaning is exactly "these two signed
+    messages exist", so the proofs are part of the signed bytes.
     """
-    def encode(value: object) -> object:
-        if isinstance(value, AvatarSnapshot):
-            return {
-                "p": value.player_id,
-                "f": value.frame,
-                "pos": value.position.to_tuple(),
-                "vel": value.velocity.to_tuple(),
-                "yaw": round(value.yaw, 6),
-                "hp": value.health,
-                "ar": value.armor,
-                "w": value.weapon,
-                "am": value.ammo,
-                "al": value.alive,
-            }
-        if isinstance(value, GuidancePrediction):
-            return {
-                "f": value.frame,
-                "o": value.origin.to_tuple(),
-                "v": value.velocity.to_tuple(),
-                "yaw": round(value.yaw, 6),
-                "h": value.horizon_frames,
-            }
-        if isinstance(value, HandoffSummary):
-            return {
-                "p": value.player_id,
-                "e": value.epoch,
-                "x": value.proxy_id,
-                "s": encode(value.last_snapshot) if value.last_snapshot else None,
-                "n": value.update_count,
-                "flags": value.suspicion_flags,
-            }
-        if isinstance(value, StateUpdate):
-            # Nested evidence payload: the inner *signature* is part of
-            # the signed bytes — the evidence's meaning is exactly "these
-            # two signed messages exist", so the proofs must be covered.
-            return {
-                name: encode(getattr(value, name))
-                for name in value.__dataclass_fields__
-            }
-        if isinstance(value, Signature):
-            return {
-                "scheme": value.scheme,
-                "signer": value.signer_id,
-                "data": value.data.hex(),
-            }
-        if isinstance(value, Vec3):
-            return value.to_tuple()
-        if isinstance(value, frozenset):
-            return sorted(value)
-        if isinstance(value, tuple):
-            return [encode(v) for v in value]
-        return value
+    # Deferred import: repro.core.wire imports this module for the
+    # registry, so a top-level import would be circular.
+    global _encode_signable
+    if _encode_signable is None:
+        from repro.core.wire import encode_signable as _encode_signable
+    return _encode_signable(message)
 
-    payload = {
-        "type": type(message).__name__,
-        **{
-            name: encode(getattr(message, name))
-            for name in message.__dataclass_fields__  # type: ignore[attr-defined]
-            if name != "signature"
-        },
-    }
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+_encode_signable = None
 
 
 def message_size_bits(message: GameMessage, config: WatchmenConfig) -> int:

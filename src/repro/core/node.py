@@ -41,11 +41,11 @@ from repro.core.messages import (
     RemovalProposal,
     StateUpdate,
     SubscriptionRequest,
-    message_size_bytes,
     signable_bytes,
 )
 from repro.core.proxy import ProxySchedule
 from repro.core.subscriptions import SubscriberTable, SubscriptionPlanner
+from repro.core.wire import encoded_size
 from repro.core.verification import (
     AimVerifier,
     CheatRating,
@@ -2032,7 +2032,10 @@ class WatchmenNode:
         signed = self._signed(message)
         if self.config.reliable_delivery and isinstance(signed, ACKABLE_TYPES):
             self._register_pending(signed, destination)
-        size = message_size_bytes(signed, self.config)
+        # Charge what actually crosses the wire: the canonical binary
+        # frame.  The nominal bit model (message_size_bits) survives as
+        # the paper-arithmetic cross-check in the crypto_overhead bench.
+        size = encoded_size(signed)
         self._send_raw(self.player_id, destination, signed, size)
 
     def _signed(self, message: GameMessage) -> GameMessage:

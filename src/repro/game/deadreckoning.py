@@ -14,6 +14,7 @@ is that metric.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.config import FRAME_SECONDS, FRAMES_PER_SECOND
@@ -24,7 +25,9 @@ __all__ = [
     "GuidancePrediction",
     "predict_linear",
     "simulate_guidance",
+    "simulate_guidance_reference",
     "trajectory_deviation_area",
+    "trajectory_deviation_area_reference",
 ]
 
 
@@ -70,7 +73,42 @@ def simulate_guidance(
     end_frame: int,
     frame_seconds: float = FRAME_SECONDS,
 ) -> list[Vec3]:
-    """The receiver-side simulated trajectory across [start, end] frames."""
+    """The receiver-side simulated trajectory across [start, end] frames.
+
+    Flat-array kernel: the prediction's origin/velocity components are
+    hoisted once and each sample is built with one ``Vec3`` instead of the
+    per-frame ``position_at`` dispatch (which allocates two).  Arithmetic
+    mirrors :meth:`GuidancePrediction.position_at` operation-for-operation;
+    bit-identical to :func:`simulate_guidance_reference` (tests enforce it).
+    """
+    if end_frame < start_frame:
+        raise ValueError("end_frame before start_frame")
+    prediction_frame = prediction.frame
+    horizon = prediction.horizon_frames
+    origin = prediction.origin
+    ox, oy, oz = origin.x, origin.y, origin.z
+    velocity = prediction.velocity
+    vx, vy, vz = velocity.x, velocity.y, velocity.z
+    track: list[Vec3] = []
+    append = track.append
+    for frame in range(start_frame, end_frame + 1):
+        ahead = frame - prediction_frame
+        if ahead < 0:
+            ahead = 0
+        if ahead > horizon:
+            ahead = horizon
+        t = ahead * frame_seconds
+        append(Vec3(ox + vx * t, oy + vy * t, oz + vz * t))
+    return track
+
+
+def simulate_guidance_reference(
+    prediction: GuidancePrediction,
+    start_frame: int,
+    end_frame: int,
+    frame_seconds: float = FRAME_SECONDS,
+) -> list[Vec3]:
+    """The retained naive implementation — the kernel's exactness gate."""
     if end_frame < start_frame:
         raise ValueError("end_frame before start_frame")
     return [
@@ -87,7 +125,37 @@ def trajectory_deviation_area(
     Both lists must be sampled per frame over the same frame range.  The
     area is the time integral of the point-wise distance (trapezoidal rule),
     i.e. the paper's deviation metric for guidance verification.
+
+    Flat-array kernel: gaps are computed with inlined component arithmetic
+    (no intermediate ``Vec3`` per pair) and the trapezoid accumulation
+    keeps the reference's exact left-to-right expression, so the result is
+    bit-identical to :func:`trajectory_deviation_area_reference`.
     """
+    if len(predicted) != len(actual):
+        raise ValueError("trajectories must cover the same frames")
+    if len(predicted) < 2:
+        return 0.0
+    sqrt = math.sqrt
+    gaps: list[float] = []
+    append = gaps.append
+    for p, a in zip(predicted, actual):
+        dx = p.x - a.x
+        dy = p.y - a.y
+        dz = p.z - a.z
+        append(sqrt(dx * dx + dy * dy + dz * dz))
+    area = 0.0
+    left = gaps[0]
+    for index in range(1, len(gaps)):
+        right = gaps[index]
+        area += 0.5 * (left + right) * frame_seconds
+        left = right
+    return area
+
+
+def trajectory_deviation_area_reference(
+    predicted: list[Vec3], actual: list[Vec3], frame_seconds: float = FRAME_SECONDS
+) -> float:
+    """The retained naive implementation — the kernel's exactness gate."""
     if len(predicted) != len(actual):
         raise ValueError("trajectories must cover the same frames")
     if len(predicted) < 2:

@@ -221,6 +221,29 @@ class GameMap:
                 best = box.top
         return best
 
+    def floor_height_xy(self, x: float, y: float) -> float | None:
+        """:meth:`floor_height` for a bare XY coordinate.
+
+        The batched physics kernel queries floors for whole rosters per
+        frame; taking plain floats avoids a throwaway ``Vec3`` per query.
+        Reads the grid's flat ``box_bounds`` instead of chasing
+        ``Box.min_corner`` attribute chains; the containment predicate and
+        the top-face maximum mirror :meth:`floor_height` exactly, so the
+        two are bit-identical (tests enforce it).
+        """
+        best: float | None = None
+        index = self.spatial_index
+        bounds = index.box_bounds
+        for candidate in index.point_candidates(x, y):
+            min_x, min_y, _, max_x, max_y, max_z = bounds[candidate]
+            if (
+                min_x <= x <= max_x
+                and min_y <= y <= max_y
+                and (best is None or max_z > best)
+            ):
+                best = max_z
+        return best
+
     def line_of_sight(self, eye: Vec3, target: Vec3) -> bool:
         """True when no solid blocks the segment between the two points.
 

@@ -281,6 +281,62 @@ class ObserverFrame:
             )
         return proximity + aim_term + recent
 
+    def attention_scores(
+        self,
+        everyone: dict[int, AvatarSnapshot],
+        candidate_ids: list[int],
+        frame: int,
+        recency: InteractionRecency | None = None,
+    ) -> dict[int, float]:
+        """Batched :meth:`attention_score` over a flat candidate list.
+
+        One pass with every observer constant (position components, aim
+        vector, config scalars, math functions) hoisted into locals — the
+        per-target arithmetic mirrors the scalar method expression for
+        expression, so each score is bit-identical to
+        :meth:`attention_score` (property tests enforce it).
+        """
+        observer = self.snapshot
+        config = self.config
+        position = observer.position
+        opx, opy, opz = position.x, position.y, position.z
+        aim = self.aim
+        ax, ay, az = aim.x, aim.y, aim.z
+        aim_length = self.aim_length
+        proximity_scale = config.proximity_scale
+        halflife = config.recency_halflife_frames
+        observer_id = observer.player_id
+        sqrt = math.sqrt
+        acos = math.acos
+        pi = math.pi
+        scores: dict[int, float] = {}
+        for other_id in candidate_ids:
+            target = everyone[other_id]
+            target_position = target.position
+            dx = target_position.x - opx
+            dy = target_position.y - opy
+            dz = target_position.z - opz
+            distance = sqrt(dx * dx + dy * dy + dz * dz)
+            proximity = 1.0 / (1.0 + distance / proximity_scale)
+            horizontal = sqrt(dx * dx + dy * dy + 0.0 * 0.0)
+            denom = aim_length * horizontal
+            if denom == 0.0:
+                aim_error = 0.0
+            else:
+                cosine = (ax * dx + ay * dy + az * 0.0) / denom
+                cosine = (
+                    -1.0 if cosine < -1.0 else 1.0 if cosine > 1.0 else cosine
+                )
+                aim_error = acos(cosine)
+            aim_term = max(0.0, 1.0 - aim_error / pi)
+            recent = 0.0
+            if recency is not None:
+                recent = recency.score(
+                    observer_id, target.player_id, frame, halflife
+                )
+            scores[other_id] = proximity + aim_term + recent
+        return scores
+
 
 def in_vision_cone(
     observer: AvatarSnapshot,
@@ -348,13 +404,15 @@ def _classify(
         interest = frozenset(visible)
         vision: frozenset[int] = frozenset()
     else:
-        # heapq.nlargest is documented equivalent to
+        # Scores come from the flat batch kernel (bit-identical to the
+        # per-target method); heapq.nlargest is documented equivalent to
         # sorted(iterable, key=key, reverse=True)[:n] — ties included — so
         # the selected top-k set matches the reference full sort exactly.
+        scores = oframe.attention_scores(everyone, visible, frame, recency)
         top = heapq.nlargest(
             config.interest_size,
             visible,
-            key=lambda oid: oframe.attention_score(everyone[oid], frame, recency),
+            key=scores.__getitem__,
         )
         interest = frozenset(top)
         vision = frozenset(oid for oid in visible if oid not in interest)

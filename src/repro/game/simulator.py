@@ -138,12 +138,17 @@ class DeathmatchSimulator:
                 frame, snapshots[player_id], snapshots, self.items
             )
 
-        # 2. Kinematics.
-        for player_id, decision in decisions.items():
+        # 2. Kinematics, batched through the flat-array physics kernel
+        # (bit-identical to per-avatar Physics.step — tests enforce it).
+        moving = list(decisions.items())
+        batch = []
+        for player_id, decision in moving:
             avatar = self.avatars[player_id]
-            result = self.physics.step(
-                avatar.position, avatar.velocity, avatar.yaw, decision.intent
+            batch.append(
+                (avatar.position, avatar.velocity, avatar.yaw, decision.intent)
             )
+        for (player_id, _), result in zip(moving, self.physics.step_many(batch)):
+            avatar = self.avatars[player_id]
             avatar.position = result.position
             avatar.velocity = result.velocity
             avatar.yaw = result.yaw

@@ -13,6 +13,12 @@ must be in the union but never in the registry (an ack that is itself
 ackable would ack forever).  The rule is skipped entirely when the
 module declares no ``ACKABLE_TYPES``.
 
+P206 keeps the binary framing honest: ``wire.MESSAGE_TAGS`` must name
+exactly the types ``MESSAGE_TYPES`` registers, with one unique integer
+tag in 0..255 per name (the codec emits the tag as a single byte, and
+committed tapes store it — drift or reuse orphans recorded traffic).
+Skipped when the wire module declares no ``MESSAGE_TAGS``.
+
 These are whole-repo checks, not per-file scans: the engine hands this
 module the parsed ASTs of ``core/messages.py``, ``core/node.py`` and
 ``core/wire.py`` (paths are configurable so rule tests can run against
@@ -186,6 +192,35 @@ def _registry_names(wire_tree: ast.Module, registry_name: str = "MESSAGE_TYPES")
     return set()
 
 
+def _dict_literal_assignment(
+    tree: ast.Module, name: str
+) -> tuple[list[tuple[ast.expr, ast.expr]], int] | None:
+    """(key, value) expression pairs of ``name = {...}``, plus its line.
+
+    Returns None when no such assignment exists (the rule that reads it
+    must then skip — fixture trees predate the table), and an empty pair
+    list when the assignment is not a dict literal.
+    """
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == name for t in targets):
+            continue
+        assert value is not None
+        if not isinstance(value, ast.Dict):
+            return [], node.lineno
+        return [
+            (key, val)
+            for key, val in zip(value.keys, value.values)
+            if key is not None
+        ], node.lineno
+    return None
+
+
 def _tuple_assignment(
     tree: ast.Module, name: str
 ) -> tuple[list[str], int] | None:
@@ -325,6 +360,76 @@ def run_protocol_rules(sources: ProtocolSources, src_root: Path) -> list[Violati
                     context=member,
                 )
             )
+
+    # P206 — the binary tag table tracks the codec registry in lockstep.
+    rel_wire = sources.wire_path.as_posix()
+    tags = _dict_literal_assignment(wire_tree, "MESSAGE_TAGS")
+    if tags is not None and registered:
+        pairs, lineno = tags
+        tagged: dict[str, ast.expr] = {}
+        for key, val in pairs:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                tagged[key.value] = val
+        for name in sorted(registered - set(tagged)):
+            violations.append(
+                Violation(
+                    rule="P206",
+                    path=rel_wire,
+                    line=lineno,
+                    message=(
+                        f"registered message `{name}` has no entry in "
+                        "MESSAGE_TAGS; the binary codec cannot frame it"
+                    ),
+                    context=name,
+                )
+            )
+        for name in sorted(set(tagged) - registered):
+            violations.append(
+                Violation(
+                    rule="P206",
+                    path=rel_wire,
+                    line=lineno,
+                    message=(
+                        f"MESSAGE_TAGS entry `{name}` is not registered in "
+                        "MESSAGE_TYPES; a dead tag invites accidental reuse"
+                    ),
+                    context=name,
+                )
+            )
+        seen_tags: dict[int, str] = {}
+        for name, val in tagged.items():
+            if not (
+                isinstance(val, ast.Constant)
+                and type(val.value) is int
+                and 0 <= val.value <= 255
+            ):
+                violations.append(
+                    Violation(
+                        rule="P206",
+                        path=rel_wire,
+                        line=val.lineno,
+                        message=(
+                            f"tag for `{name}` must be an integer literal in "
+                            "0..255; the codec emits it as a single byte"
+                        ),
+                        context=name,
+                    )
+                )
+                continue
+            holder = seen_tags.setdefault(val.value, name)
+            if holder != name:
+                violations.append(
+                    Violation(
+                        rule="P206",
+                        path=rel_wire,
+                        line=val.lineno,
+                        message=(
+                            f"tag {val.value} is assigned to both `{holder}` "
+                            f"and `{name}`; decode would be ambiguous"
+                        ),
+                        context=name,
+                    )
+                )
 
     # P204 — a size-model branch per member.
     sizer = _find_function(messages_tree, "message_size_bits")

@@ -245,6 +245,27 @@ _CATALOG_ENTRIES = (
         ),
     ),
     RuleInfo(
+        rule="P206",
+        summary="MESSAGE_TAGS out of lockstep with MESSAGE_TYPES",
+        rationale=(
+            "The binary codec frames every message with the one-byte tag "
+            "MESSAGE_TAGS assigns to its type name.  The table is "
+            "append-only protocol surface: recorded tapes store raw tag "
+            "bytes, so a registered type with no tag cannot be framed, a "
+            "tag for an unregistered name is dead surface that will be "
+            "reused by accident, a duplicate tag makes decode ambiguous, "
+            "and a tag outside 0..255 cannot be emitted as a single byte "
+            "at all.  The table and MESSAGE_TYPES must list exactly the "
+            "same names, with unique single-byte integer tags."
+        ),
+        scope="core/wire.py (MESSAGE_TAGS x MESSAGE_TYPES)",
+        examples=(
+            "flags:  MESSAGE_TYPES entry `PingProbe` missing from MESSAGE_TAGS",
+            "flags:  two names sharing tag 7",
+            "ok:     one unique 0..255 tag per registered type name",
+        ),
+    ),
+    RuleInfo(
         rule="T301",
         summary="function missing parameter or return annotations",
         rationale=(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.core.wire import WireError, decode_bytes, encode_message
 from repro.obs.registry import MetricsRegistry
 from repro.replay.recorder import TapeRecorder
 from repro.replay.tape import Tape, TapedMessage
@@ -92,12 +93,18 @@ class VerifyResult:
 
 
 def _message_row(message: TapedMessage) -> dict[str, Any]:
+    # Diffs are for humans (and JSON reports): decode the binary frame
+    # back to the dict envelope; fall back to hex for alien bytes.
+    try:
+        payload: Any = encode_message(decode_bytes(message.payload))
+    except WireError:
+        payload = {"undecodable": message.payload.hex()}
     return {
         "src": message.src,
         "dst": message.dst,
         "size_bytes": message.size_bytes,
         "accepted": message.accepted,
-        "payload": message.payload,
+        "payload": payload,
     }
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.wire import encode_message
+from repro.core.wire import encode_bytes
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.replay.scenario import TapeScenario
 from repro.replay.tape import Tape, TapedMessage, TapeFrame
@@ -110,7 +110,7 @@ class TapeRecorder:
                         dst=dst,
                         size_bytes=size_bytes,
                         accepted=accepted,
-                        payload=encode_message(payload),
+                        payload=encode_bytes(payload),
                     )
                     for src, dst, payload, size_bytes, accepted in raw
                 ]

@@ -16,9 +16,15 @@ Layout (gzip-compressed JSONL, one JSON object per line):
    (:meth:`~repro.game.trace.GameTrace.to_json_rows` rows, verbatim);
 3. **frame rows** — one per simulated frame, carrying every datagram the
    nodes *offered* to the transport that frame (src, dst, size, local
-   acceptance, and the wire-encoded message) plus the running SHA-256 of
-   all frame payloads so far;
+   acceptance, and the canonical binary wire frame, base64-armoured for
+   the JSONL container) plus the running SHA-256 of all frame payloads
+   so far;
 4. **footer** — totals and the final digest.
+
+Version 2 switched the taped payload from the JSON-dict envelope to the
+binary wire frame (:func:`repro.core.wire.encode_bytes`): digests cover
+the exact bytes the protocol ships, and the corpus shrinks with them.
+Version-1 tapes are rejected — regenerate with ``make tapes``.
 
 The running digest makes tampering localisable: flipping any byte of any
 message breaks the digest of that frame and every later one, so integrity
@@ -33,6 +39,8 @@ boundary and is explicitly allowlisted for the ``D104`` lint rule (see
 
 from __future__ import annotations
 
+import base64
+import binascii
 import gzip
 import hashlib
 import json
@@ -40,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro.core.wire import MESSAGE_TAGS
 from repro.faults.schedule import FaultSchedule
 from repro.game.trace import GameTrace
 from repro.replay.scenario import TapeScenario
@@ -60,7 +69,10 @@ __all__ = [
 ]
 
 TAPE_FORMAT = "repro.tape.v1"
-TAPE_VERSION = 1
+TAPE_VERSION = 2
+
+#: wire tag byte -> message type name, for the inspect histogram
+_TAG_NAMES: dict[int, str] = {tag: name for name, tag in MESSAGE_TAGS.items()}
 
 
 class TapeError(ValueError):
@@ -105,14 +117,24 @@ class TapedMessage:
     #: False when the transport refused it locally (budget/NAT); the
     #: refusal is part of the run's observable behaviour, so it is taped.
     accepted: bool
-    #: the wire encoding (:func:`repro.core.wire.encode_message` dict)
-    payload: dict[str, Any]
+    #: the canonical binary wire frame (:func:`repro.core.wire.encode_bytes`)
+    payload: bytes
 
     def digest_bytes(self) -> bytes:
-        """The canonical bytes this message contributes to digests."""
-        return _canonical(
-            [self.src, self.dst, self.size_bytes, int(self.accepted), self.payload]
+        """The canonical bytes this message contributes to digests: the
+        routing envelope as canonical JSON, then the raw wire frame —
+        exactly what a node would transmit."""
+        return (
+            _canonical([self.src, self.dst, self.size_bytes, int(self.accepted)])
+            + b"|"
+            + self.payload
         )
+
+    def type_name(self) -> str:
+        """Message type from the frame's leading tag byte ('?' if alien)."""
+        if not self.payload:
+            return "?"
+        return _TAG_NAMES.get(self.payload[0], "?")
 
 
 @dataclass(slots=True)
@@ -178,7 +200,7 @@ class Tape:
         counts: dict[str, int] = {}
         for tape_frame in self.frames:
             for message in tape_frame.messages:
-                kind = str(message.payload.get("type", "?"))
+                kind = message.type_name()
                 counts[kind] = counts.get(kind, 0) + 1
         return dict(sorted(counts.items()))
 
@@ -209,7 +231,13 @@ def write_tape(tape: Tape, path: str | Path) -> Path:
             "frame": tape_frame.frame,
             "digest": tape_frame.digest,
             "messages": [
-                [m.src, m.dst, m.size_bytes, int(m.accepted), m.payload]
+                [
+                    m.src,
+                    m.dst,
+                    m.size_bytes,
+                    int(m.accepted),
+                    base64.b64encode(m.payload).decode("ascii"),
+                ]
                 for m in tape_frame.messages
             ],
         }))
@@ -305,13 +333,22 @@ def read_tape(path: str | Path, verify_integrity: bool = True) -> Tape:
                         dst=entry[1],
                         size_bytes=entry[2],
                         accepted=bool(entry[3]),
-                        payload=entry[4],
+                        payload=base64.b64decode(
+                            entry[4].encode("ascii"), validate=True
+                        ),
                     )
                     for entry in row["messages"]
                 ]
                 frames.append(TapeFrame(frame=row["frame"], messages=messages))
                 stored_digests.append(row["digest"])
-            except (KeyError, IndexError, TypeError) as error:
+            except (
+                KeyError,
+                IndexError,
+                TypeError,
+                AttributeError,
+                UnicodeEncodeError,
+                binascii.Error,
+            ) as error:
                 raise TapeFormatError(
                     f"{path}: malformed frame row: {error}"
                 ) from error

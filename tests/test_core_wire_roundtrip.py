@@ -17,12 +17,16 @@ import pytest
 
 from repro.core import messages as msgs
 from repro.core.wire import (
+    MESSAGE_TAGS,
     MESSAGE_TYPES,
     WireError,
     decode_bytes,
+    decode_json_bytes,
     decode_message,
     encode_bytes,
+    encode_json_bytes,
     encode_message,
+    encode_signable,
 )
 from repro.crypto.signatures import Signature
 from repro.game.avatar import AvatarSnapshot
@@ -153,16 +157,44 @@ class TestRegistry:
         assert set(MESSAGE_TYPES.values()) == set(MESSAGE_CLASSES)
         assert set(MESSAGE_TYPES) == {c.__name__ for c in MESSAGE_CLASSES}
 
-    def test_envelope_is_json_with_type_tag(self):
+    def test_tag_table_matches_registry(self):
+        # The P206 lint rule enforces this statically; this is the
+        # runtime half of the same invariant.
+        assert set(MESSAGE_TAGS) == set(MESSAGE_TYPES)
+        tags = list(MESSAGE_TAGS.values())
+        assert len(tags) == len(set(tags)), "tags must be unique"
+        assert all(0 <= tag <= 255 for tag in tags), "tags must fit one byte"
+
+    def test_envelope_starts_with_type_tag_byte(self):
+        for cls in MESSAGE_CLASSES:
+            wire = encode_bytes(build_message(cls))
+            assert wire[0] == MESSAGE_TAGS[cls.__name__]
+
+    def test_json_envelope_retained_with_type_tag(self):
         message = build_message(msgs.PositionUpdate)
         envelope = encode_message(message)
         assert envelope["type"] == "PositionUpdate"
-        # Wire bytes are plain JSON, sorted keys, compact separators.
-        wire = encode_bytes(message)
+        # The legacy JSON form stays canonical (sorted keys, compact).
+        wire = encode_json_bytes(message)
         parsed = json.loads(wire.decode("utf-8"))
         assert parsed == json.loads(
             json.dumps(envelope, sort_keys=True, separators=(",", ":"))
         )
+        assert decode_json_bytes(wire) == message
+
+    def test_binary_beats_json_on_every_type(self):
+        for cls in MESSAGE_CLASSES:
+            message = build_message(cls)
+            assert len(encode_bytes(message)) < len(encode_json_bytes(message))
+
+    def test_signable_bytes_is_frame_minus_signature(self):
+        message = build_message(msgs.StateUpdate)
+        signable = encode_signable(message)
+        assert signable[0] == MESSAGE_TAGS["StateUpdate"]
+        # The signed form appends only the signature's encoding.
+        assert encode_bytes(message).startswith(signable)
+        unsigned = dataclasses.replace(message, signature=None)
+        assert encode_signable(unsigned) == signable
 
 
 class TestErrors:
@@ -191,6 +223,126 @@ class TestErrors:
     def test_malformed_bytes(self):
         with pytest.raises(WireError):
             decode_bytes(b"{not json")
+        with pytest.raises(WireError):
+            decode_json_bytes(b"{not json")
+
+
+class TestMalformedBinary:
+    """Hostile binary input must always surface as WireError — never a
+    struct.error, IndexError, or UnicodeDecodeError leaking from the
+    decoder internals (mirrors the JSON codec's rejection tests)."""
+
+    def test_empty_frame(self):
+        with pytest.raises(WireError):
+            decode_bytes(b"")
+
+    def test_unknown_tag(self):
+        used = set(MESSAGE_TAGS.values())
+        for tag in (0, *(t for t in range(256) if t not in used)):
+            with pytest.raises(WireError):
+                decode_bytes(bytes([tag]))
+
+    @pytest.mark.parametrize("cls", MESSAGE_CLASSES, ids=lambda c: c.__name__)
+    def test_every_truncation_is_rejected(self, cls):
+        wire = encode_bytes(build_message(cls))
+        for cut in range(len(wire)):
+            with pytest.raises(WireError):
+                decode_bytes(wire[:cut])
+
+    @pytest.mark.parametrize("cls", MESSAGE_CLASSES, ids=lambda c: c.__name__)
+    def test_trailing_bytes_are_rejected(self, cls):
+        wire = encode_bytes(build_message(cls))
+        for junk in (b"\x00", b"\xff", b"extra"):
+            with pytest.raises(WireError):
+                decode_bytes(wire + junk)
+
+    def test_non_bytes_input(self):
+        with pytest.raises(WireError):
+            decode_bytes("not bytes")  # type: ignore[arg-type]
+
+    def test_non_minimal_varint_is_rejected(self):
+        # AckMessage: tag, then sender_id as a varint.  0x80 0x00 is a
+        # two-byte encoding of zero — valid LEB128, not canonical.
+        tag = bytes([MESSAGE_TAGS["AckMessage"]])
+        with pytest.raises(WireError, match="non-minimal"):
+            decode_bytes(tag + b"\x80\x00" + b"\x00" * 8)
+
+    def test_oversized_varint_is_rejected(self):
+        tag = bytes([MESSAGE_TAGS["AckMessage"]])
+        with pytest.raises(WireError):
+            decode_bytes(tag + b"\xff" * 10 + b"\x01")
+
+    def test_bad_presence_byte_is_rejected(self):
+        # Flip the signature presence byte (always last-field prefix on a
+        # signed message) to an out-of-range value.
+        message = build_message(msgs.AckMessage)
+        wire = bytearray(encode_bytes(message))
+        prefix = len(encode_signable(message))
+        assert wire[prefix] == 1  # presence byte of the signature
+        wire[prefix] = 2
+        with pytest.raises(WireError, match="presence byte"):
+            decode_bytes(bytes(wire))
+
+    def test_bad_bool_byte_is_rejected(self):
+        message = build_message(msgs.StateUpdate)
+        wire = encode_bytes(message)
+        # AvatarSnapshot.alive is the only bool; True encodes as 0x01.
+        # Rather than compute its offset, fuzz every 0x01 position and
+        # require that *no* corruption ever escapes WireError.
+        for index, value in enumerate(wire):
+            if value != 1:
+                continue
+            mutated = bytearray(wire)
+            mutated[index] = 2
+            try:
+                decoded = decode_bytes(bytes(mutated))
+            except WireError:
+                continue
+            assert decoded != message  # if it decodes, it must differ
+
+    def test_unsorted_set_is_rejected(self):
+        message = msgs.HandoffMessage(
+            sender_id=1, player_id=2, epoch=3, sequence=4,
+            interest_subscribers=frozenset({1, 2}),
+            vision_subscribers=frozenset(),
+        )
+        wire = encode_bytes(message)
+        # Elements 1 and 2 zigzag-encode as 0x02 and 0x04; swapping the
+        # adjacent pair breaks the strictly-ascending canonical order.
+        swapped = wire.replace(b"\x02\x02\x04", b"\x02\x04\x02", 1)
+        assert swapped != wire, "expected the encoded set in the frame"
+        with pytest.raises(WireError, match="ascending"):
+            decode_bytes(swapped)
+
+    def test_non_canonical_table_string_is_rejected(self):
+        base = build_message(msgs.KillClaim)
+        railgun = encode_bytes(dataclasses.replace(base, weapon="railgun"))
+        shotgun = encode_bytes(dataclasses.replace(base, weapon="shotgun"))
+        # Both weapons are table-coded, so the two frames differ in
+        # exactly one byte: the weapon's table code.
+        assert len(railgun) == len(shotgun)
+        diffs = [i for i, (a, b) in enumerate(zip(railgun, shotgun)) if a != b]
+        assert len(diffs) == 1
+        index = diffs[0]
+        # Re-encode "railgun" inline (0x00 escape + length + UTF-8)
+        # instead of its table code; decode must refuse the alias.
+        aliased = railgun[:index] + b"\x00\x07railgun" + railgun[index + 1:]
+        with pytest.raises(WireError, match="non-canonical"):
+            decode_bytes(aliased)
+
+    @pytest.mark.parametrize("cls", MESSAGE_CLASSES, ids=lambda c: c.__name__)
+    def test_single_byte_corruption_never_leaks(self, cls):
+        """Exhaustive single-byte corruption: decode either fails with
+        WireError or yields a (different or equal) valid message —
+        nothing else."""
+        wire = encode_bytes(build_message(cls))
+        for index in range(len(wire)):
+            mutated = bytearray(wire)
+            mutated[index] ^= 0xFF
+            try:
+                decode_bytes(bytes(mutated))
+            except WireError:
+                pass
 
 
 hypothesis = pytest.importorskip("hypothesis")
@@ -198,8 +350,81 @@ from hypothesis import given, settings, strategies as st  # noqa: E402
 
 finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
 
+#: wire ints are 64-bit; the encoder rejects anything wider
+wire_int = st.integers(-(2**63), 2**63 - 1)
+
+STRATEGY_OVERRIDES = {
+    ("SubscriptionRequest", "kind"): st.sampled_from(
+        [msgs.SUB_VISION, msgs.SUB_INTEREST]
+    ),
+}
+
+
+def _hint_strategy(hint: object, owner: str, name: str) -> "st.SearchStrategy":
+    override = STRATEGY_OVERRIDES.get((owner, name))
+    if override is not None:
+        return override
+    origin = typing.get_origin(hint)
+    args = typing.get_args(hint)
+    if origin in (typing.Union, types.UnionType):
+        concrete = [a for a in args if a is not type(None)]
+        inner = st.one_of(*(_hint_strategy(a, owner, name) for a in concrete))
+        return st.none() | inner if type(None) in args else inner
+    if origin is tuple:
+        if len(args) == 2 and args[1] is Ellipsis:
+            return st.lists(
+                _hint_strategy(args[0], owner, name), max_size=3
+            ).map(tuple)
+        return st.tuples(*(_hint_strategy(a, owner, name) for a in args))
+    if origin is frozenset:
+        return st.frozensets(_hint_strategy(args[0], owner, name), max_size=6)
+    if hint is int:
+        return wire_int
+    if hint is float:
+        return finite
+    if hint is str:
+        # Mix table strings and arbitrary unicode so both encodings run.
+        return st.text(max_size=12) | st.sampled_from(
+            ["", "railgun", "position", "hmac-sha256"]
+        )
+    if hint is bool:
+        return st.booleans()
+    if hint is bytes:
+        return st.binary(max_size=20)
+    if dataclasses.is_dataclass(hint):
+        return _class_strategy(hint)
+    raise AssertionError(f"no strategy for {owner}.{name}: {hint!r}")
+
+
+def _class_strategy(cls: type) -> "st.SearchStrategy":
+    hints = typing.get_type_hints(cls)
+    return st.builds(
+        cls,
+        **{
+            f.name: _hint_strategy(hints[f.name], cls.__name__, f.name)
+            for f in dataclasses.fields(cls)
+        },
+    )
+
 
 class TestProperties:
+    @pytest.mark.parametrize("cls", MESSAGE_CLASSES, ids=lambda c: c.__name__)
+    def test_generated_messages_round_trip_canonically(self, cls):
+        """Hypothesis round-trip for every MESSAGE_TYPES entry: decode is
+        the exact inverse of encode, and re-encoding reproduces the
+        canonical bytes."""
+
+        @settings(max_examples=40, deadline=None)
+        @given(message=_class_strategy(cls))
+        def run(message):
+            wire = encode_bytes(message)
+            decoded = decode_bytes(wire)
+            assert decoded == message
+            assert encode_bytes(decoded) == wire
+            assert encode_signable(decoded) == encode_signable(message)
+
+        run()
+
     @settings(max_examples=50, deadline=None)
     @given(
         x=finite, y=finite, z=finite, yaw=finite,

@@ -1,0 +1,283 @@
+"""Exactness gates for the batched frame kernels.
+
+Every fast path introduced for paper-scale throughput — the physics batch
+step, the flat dead-reckoning kernels, batched attention scoring, and the
+bot perception loop — retains its naive implementation verbatim, and the
+properties here assert the two produce *bit-identical* results (floats
+compared by their IEEE-754 bit patterns, not tolerances).  This is the
+same playbook the interest-management fast path uses
+(tests/test_game_interest_fast.py): an optimisation that changes a single
+bit anywhere changes traces, tapes and signatures, so nothing less than
+bit equality is acceptable.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.avatar import AvatarSnapshot
+from repro.game.bots import BotController
+from repro.game.deadreckoning import (
+    GuidancePrediction,
+    simulate_guidance,
+    simulate_guidance_reference,
+    trajectory_deviation_area,
+    trajectory_deviation_area_reference,
+)
+from repro.game.gamemap import make_arena, make_corridors, make_longest_yard
+from repro.game.interest import (
+    InteractionRecency,
+    InterestConfig,
+    ObserverFrame,
+    _attention_score_reference,
+)
+from repro.game.physics import MoveIntent, Physics
+from repro.game.simulator import generate_trace
+from repro.game.vector import Vec3
+
+MAPS = {
+    "longest-yard": make_longest_yard(),
+    "arena": make_arena(),
+    "corridors": make_corridors(),
+}
+
+
+def bits(value: float) -> bytes:
+    """The IEEE-754 bit pattern — the equality the exactness gate demands."""
+    return struct.pack(">d", value)
+
+
+def assert_results_bit_identical(expected, actual) -> None:
+    assert bits(actual.position.x) == bits(expected.position.x)
+    assert bits(actual.position.y) == bits(expected.position.y)
+    assert bits(actual.position.z) == bits(expected.position.z)
+    assert bits(actual.velocity.x) == bits(expected.velocity.x)
+    assert bits(actual.velocity.y) == bits(expected.velocity.y)
+    assert bits(actual.velocity.z) == bits(expected.velocity.z)
+    assert bits(actual.yaw) == bits(expected.yaw)
+    assert actual.on_ground == expected.on_ground
+    assert actual.fall_damage == expected.fall_damage
+    assert actual.fell_in_void == expected.fell_in_void
+
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+coords = st.floats(-2400.0, 2400.0)
+speeds = st.floats(-1000.0, 1000.0)
+yaws = st.floats(-8.0, 8.0)
+
+
+def vec(strategy):
+    return st.builds(Vec3, strategy, strategy, strategy)
+
+
+_states = st.tuples(
+    vec(coords),
+    vec(speeds),
+    yaws,
+    st.builds(
+        MoveIntent,
+        wish_direction=vec(st.floats(-1.0, 1.0)),
+        wish_speed=st.floats(-20.0, 500.0),
+        jump=st.booleans(),
+        yaw=yaws,
+    ),
+)
+
+
+class TestPhysicsBatch:
+    @pytest.mark.parametrize("map_name", sorted(MAPS))
+    @given(states=st.lists(_states, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_step_many_matches_step_bitwise(self, map_name, states):
+        physics = Physics(MAPS[map_name])
+        batched = physics.step_many(states)
+        assert len(batched) == len(states)
+        for args, fast in zip(states, batched):
+            assert_results_bit_identical(physics.step(*args), fast)
+
+    @pytest.mark.parametrize("map_name", sorted(MAPS))
+    def test_step_many_near_floors_and_walls(self, map_name):
+        """Deterministic sweep biased to land on platform edges, where the
+        wall-block and landing branches actually fire."""
+        game_map = MAPS[map_name]
+        physics = Physics(game_map)
+        rng = Random(map_name)
+        states = []
+        anchors = [box.center for box in game_map.solids] or [Vec3()]
+        for index in range(600):
+            anchor = anchors[index % len(anchors)]
+            position = Vec3(
+                anchor.x + rng.uniform(-300.0, 300.0),
+                anchor.y + rng.uniform(-300.0, 300.0),
+                anchor.z + rng.uniform(-80.0, 200.0),
+            )
+            velocity = Vec3(
+                rng.uniform(-400.0, 400.0),
+                rng.uniform(-400.0, 400.0),
+                rng.uniform(-900.0, 300.0),
+            )
+            intent = MoveIntent(
+                wish_direction=Vec3(rng.uniform(-1, 1), rng.uniform(-1, 1), 0.0),
+                wish_speed=rng.uniform(0.0, 400.0),
+                jump=rng.random() < 0.3,
+                yaw=rng.uniform(-math.pi, math.pi),
+            )
+            states.append((position, velocity, rng.uniform(-math.pi, math.pi), intent))
+        for args, fast in zip(states, physics.step_many(states)):
+            assert_results_bit_identical(physics.step(*args), fast)
+
+    def test_step_many_empty_batch(self):
+        assert Physics(MAPS["arena"]).step_many([]) == []
+
+    @pytest.mark.parametrize("map_name", sorted(MAPS))
+    @given(x=coords, y=coords)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_height_xy_matches_floor_height(self, map_name, x, y):
+        game_map = MAPS[map_name]
+        assert game_map.floor_height_xy(x, y) == game_map.floor_height(
+            Vec3(x, y, 0.0)
+        )
+
+
+_predictions = st.builds(
+    GuidancePrediction,
+    frame=st.integers(0, 500),
+    origin=vec(coords),
+    velocity=vec(speeds),
+    yaw=yaws,
+    horizon_frames=st.integers(1, 40),
+)
+
+
+class TestDeadReckoningKernels:
+    @given(
+        prediction=_predictions,
+        start=st.integers(0, 600),
+        span=st.integers(0, 80),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_simulate_guidance_matches_reference_bitwise(
+        self, prediction, start, span
+    ):
+        fast = simulate_guidance(prediction, start, start + span)
+        reference = simulate_guidance_reference(prediction, start, start + span)
+        assert len(fast) == len(reference)
+        for a, b in zip(fast, reference):
+            assert bits(a.x) == bits(b.x)
+            assert bits(a.y) == bits(b.y)
+            assert bits(a.z) == bits(b.z)
+
+    def test_simulate_guidance_rejects_reversed_range(self):
+        prediction = GuidancePrediction(0, Vec3(), Vec3(), 0.0, 10)
+        with pytest.raises(ValueError):
+            simulate_guidance(prediction, 10, 5)
+
+    @given(
+        pairs=st.lists(st.tuples(vec(coords), vec(coords)), max_size=40),
+        frame_seconds=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_deviation_area_matches_reference_bitwise(self, pairs, frame_seconds):
+        predicted = [p for p, _ in pairs]
+        actual = [a for _, a in pairs]
+        assert bits(
+            trajectory_deviation_area(predicted, actual, frame_seconds)
+        ) == bits(
+            trajectory_deviation_area_reference(predicted, actual, frame_seconds)
+        )
+
+    def test_deviation_area_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            trajectory_deviation_area([Vec3()], [Vec3(), Vec3()])
+
+
+def _roster(seed: int, count: int) -> dict[int, AvatarSnapshot]:
+    rng = Random(seed)
+    return {
+        pid: AvatarSnapshot(
+            player_id=pid,
+            frame=0,
+            position=Vec3(
+                rng.uniform(-2000.0, 2000.0),
+                rng.uniform(-2000.0, 2000.0),
+                rng.uniform(0.0, 300.0),
+            ),
+            velocity=Vec3(),
+            yaw=rng.uniform(-math.pi, math.pi),
+            health=100,
+            armor=0,
+            weapon="machinegun",
+            ammo=10,
+            alive=rng.random() > 0.1,
+        )
+        for pid in range(count)
+    }
+
+
+class TestAttentionBatch:
+    @given(seed=st.integers(0, 10_000), count=st.integers(2, 24))
+    @settings(max_examples=60, deadline=None)
+    def test_attention_scores_match_scalar_paths_bitwise(self, seed, count):
+        roster = _roster(seed, count)
+        config = InterestConfig()
+        recency = InteractionRecency()
+        rng = Random(seed + 1)
+        for _ in range(count):
+            a, b = rng.randrange(count), rng.randrange(count)
+            if a != b:
+                recency.record(a, b, rng.randrange(50))
+        observer = roster[0]
+        oframe = ObserverFrame(observer, config)
+        candidates = [pid for pid in roster if pid != 0]
+        batched = oframe.attention_scores(roster, candidates, 50, recency)
+        assert set(batched) == set(candidates)
+        for pid in candidates:
+            scalar = oframe.attention_score(roster[pid], 50, recency)
+            reference = _attention_score_reference(
+                observer, roster[pid], 50, config, recency
+            )
+            assert bits(batched[pid]) == bits(scalar)
+            assert bits(batched[pid]) == bits(reference)
+
+    def test_attention_scores_without_recency(self):
+        roster = _roster(3, 8)
+        oframe = ObserverFrame(roster[0], InterestConfig())
+        candidates = [pid for pid in roster if pid != 0]
+        batched = oframe.attention_scores(roster, candidates, 0, None)
+        for pid in candidates:
+            assert bits(batched[pid]) == bits(
+                oframe.attention_score(roster[pid], 0, None)
+            )
+
+
+class TestBotPerception:
+    @given(seed=st.integers(0, 10_000), count=st.integers(2, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_visible_enemies_matches_reference(self, seed, count):
+        game_map = MAPS["longest-yard"]
+        roster = _roster(seed, count)
+        controller = BotController(0, game_map, Random(seed))
+        fast = controller._visible_enemies(roster[0], roster)
+        reference = controller._visible_enemies_reference(roster[0], roster)
+        assert [s.player_id for s in fast] == [s.player_id for s in reference]
+        assert fast == reference
+
+
+class TestSimulatorBatching:
+    def test_trace_unchanged_by_batched_kinematics(self, monkeypatch):
+        """Replacing the batch kernel with a scalar step loop must produce
+        the byte-identical trace — the simulator-level exactness gate."""
+        batched = generate_trace(num_players=6, num_frames=50, seed=13)
+
+        def scalar_loop(self, batch):
+            return [self.step(*args) for args in batch]
+
+        monkeypatch.setattr(Physics, "step_many", scalar_loop)
+        looped = generate_trace(num_players=6, num_frames=50, seed=13)
+        assert list(batched.to_json_rows()) == list(looped.to_json_rows())

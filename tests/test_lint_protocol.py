@@ -256,6 +256,79 @@ class TestAckableRegistry:
         assert "union" in violations[0].message
 
 
+TAGS_SUFFIX = '''\
+
+
+MESSAGE_TAGS: dict[str, int] = {{
+    "Ping": {ping_tag},
+    "{tagged_second}": {second_tag},
+    "Farewell": 3,
+}}
+'''
+
+
+def make_tagged_tree(
+    root: Path,
+    ping_tag: str = "1",
+    tagged_second: str = "Pong",
+    second_tag: str = "2",
+) -> ProtocolSources:
+    """The conformant tree plus a MESSAGE_TAGS table with injectable defects."""
+    sources = make_tree(root)
+    wire = root / "src" / "repro" / "core" / "wire.py"
+    wire.write_text(
+        wire.read_text()
+        + TAGS_SUFFIX.format(
+            ping_tag=ping_tag, tagged_second=tagged_second, second_tag=second_tag
+        )
+    )
+    return sources
+
+
+class TestTagTable:
+    def test_lockstep_table_is_clean(self, tmp_path):
+        sources = make_tagged_tree(tmp_path)
+        assert _rules(sources, tmp_path) == []
+
+    def test_no_table_skips_p206(self, tmp_path):
+        # Fixture trees predating the binary codec must stay clean.
+        sources = make_tree(tmp_path)
+        assert _rules(sources, tmp_path) == []
+
+    def test_registered_type_without_tag_is_p206(self, tmp_path):
+        sources = make_tagged_tree(tmp_path, tagged_second="Farewell")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        # Pong untagged fires once; the duplicate Farewell key is legal AST.
+        assert [v.rule for v in violations] == ["P206"]
+        assert "Pong" in violations[0].message
+        assert "cannot frame" in violations[0].message
+
+    def test_tag_for_unregistered_name_is_p206(self, tmp_path):
+        sources = make_tagged_tree(tmp_path, tagged_second="Bogus")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        rules = [v.rule for v in violations]
+        assert rules == ["P206", "P206"]  # Pong untagged + Bogus dead tag
+        assert any("Bogus" in v.message for v in violations)
+
+    def test_duplicate_tag_value_is_p206(self, tmp_path):
+        sources = make_tagged_tree(tmp_path, second_tag="1")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P206"]
+        assert "ambiguous" in violations[0].message
+
+    def test_out_of_range_tag_is_p206(self, tmp_path):
+        sources = make_tagged_tree(tmp_path, second_tag="256")
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P206"]
+        assert "single byte" in violations[0].message
+
+    def test_non_integer_tag_is_p206(self, tmp_path):
+        sources = make_tagged_tree(tmp_path, second_tag='"2"')
+        violations = run_protocol_rules(sources, src_root=tmp_path / "src")
+        assert [v.rule for v in violations] == ["P206"]
+        assert "integer literal" in violations[0].message
+
+
 class TestRealRepo:
     def test_repo_protocol_is_conformant(self):
         core = REPO_ROOT / "src" / "repro" / "core"
@@ -336,8 +409,29 @@ class TestRealRepoMutations:
             '    "AckMessage": AckMessage,\n',
             "",
         )
-        assert [v.rule for v in violations] == ["P203"]
+        # P206 rides along: the type's wire tag is now dead surface.
+        assert [v.rule for v in violations] == ["P203", "P206"]
+        assert all("AckMessage" in v.message for v in violations)
+
+    def test_removing_ack_wire_tag_is_p206(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "wire.py",
+            '    "AckMessage": 9,\n',
+            "",
+        )
+        assert [v.rule for v in violations] == ["P206"]
         assert "AckMessage" in violations[0].message
+
+    def test_duplicating_a_wire_tag_is_p206(self, tmp_path):
+        violations = self._mutated(
+            tmp_path,
+            "wire.py",
+            '    "AckMessage": 9,\n',
+            '    "AckMessage": 5,\n',
+        )
+        assert [v.rule for v in violations] == ["P206"]
+        assert "ambiguous" in violations[0].message
 
     def test_removing_ack_size_branch_is_p204(self, tmp_path):
         violations = self._mutated(

@@ -46,11 +46,7 @@ def small_tape_path(small_tape, tmp_path):
 
 # ---- synthetic round-trip properties (no simulation) -----------------------
 
-_payloads = st.dictionaries(
-    st.text(min_size=1, max_size=8),
-    st.one_of(st.integers(-1000, 1000), st.booleans(), st.text(max_size=12)),
-    max_size=4,
-).map(lambda d: {"type": "Synthetic", **d})
+_payloads = st.binary(min_size=1, max_size=64)
 
 _messages = st.builds(
     TapedMessage,
@@ -202,7 +198,12 @@ class TestRejection:
         ]
         victim = frame_indices[len(frame_indices) // 2]
         row = json.loads(rows[victim])
-        row["messages"][0][4]["tampered"] = True
+        # Flip a byte inside the base64-armoured binary payload.
+        import base64
+
+        payload = bytearray(base64.b64decode(row["messages"][0][4]))
+        payload[0] ^= 0xFF
+        row["messages"][0][4] = base64.b64encode(bytes(payload)).decode("ascii")
         rows[victim] = json.dumps(row).encode()
         _write_rows(small_tape_path, rows)
         with pytest.raises(TapeIntegrityError) as excinfo:
@@ -231,7 +232,7 @@ class TestDivergence:
             frame.frame
             for frame in small_tape.frames
             for message in frame.messages
-            if message.payload.get("type") == "KillClaim"
+            if message.type_name() == "KillClaim"
         )
         assert kill_frames, "small tape must contain kill claims"
         original = WatchmenNode.claim_kill
